@@ -1,0 +1,63 @@
+// Ablation for the money/time/quality trade-off the paper's Section 8
+// leaves as future work: sweep HIT batch size and assignment replication on
+// the simulated platform and report cost, completion time, and F-measure
+// for the Transitive campaign on the Product dataset.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/labeling_order.h"
+#include "crowd/orchestrator.h"
+#include "eval/metrics.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using namespace crowdjoin;  // NOLINT(build/namespaces)
+using crowdjoin::bench::Unwrap;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const double threshold = args.GetDouble("threshold", 0.3);
+
+  std::printf("=== Ablation: batching size & replication sweep "
+              "(Product, Transitive campaign) ===\n");
+  const ExperimentInput input = Unwrap(MakeProductExperimentInput(seed));
+  GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
+  const CandidateSet pairs = FilterByThreshold(input.candidates, threshold);
+  const std::vector<int32_t> order = Unwrap(MakeLabelingOrder(
+      pairs, OrderKind::kExpected, &truth, /*rng=*/nullptr));
+
+  TablePrinter table({"pairs/HIT", "assignments", "# HITs", "time",
+                      "cost", "F-measure"});
+  for (int pairs_per_hit : {5, 10, 20, 40}) {
+    for (int assignments : {1, 3, 5}) {
+      CrowdConfig config;
+      config.seed = seed;
+      config.pairs_per_hit = pairs_per_hit;
+      config.assignments_per_hit = assignments;
+      config.false_negative_rate = 0.20;
+      config.false_positive_rate = 0.05;
+      config.worker_rate_stddev = 0.05;
+      const AmtRunStats stats =
+          Unwrap(RunTransitiveAmt(pairs, order, config, truth));
+      const QualityMetrics quality =
+          ComputeQuality(pairs, stats.final_labels, truth);
+      table.AddRow({std::to_string(pairs_per_hit),
+                    std::to_string(assignments),
+                    std::to_string(stats.num_hits),
+                    StrFormat("%.1f h", stats.total_hours),
+                    StrFormat("$%.2f", stats.total_cost_cents / 100.0),
+                    StrFormat("%.2f%%", 100.0 * quality.f_measure)});
+    }
+  }
+  table.Print(std::cout);
+  return 0;
+}

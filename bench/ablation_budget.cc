@@ -1,0 +1,85 @@
+// Ablation for the budget-constrained setting (Whang et al. [27], the
+// paper's related work): with money for only B crowdsourced pairs, how
+// much of the candidate set gets labeled, and what result quality does a
+// budget buy — with and without a good labeling order?
+// Unlabeled pairs are predicted non-matching.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/budget_labeler.h"
+#include "core/labeling_order.h"
+#include "eval/metrics.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using namespace crowdjoin;  // NOLINT(build/namespaces)
+using crowdjoin::bench::Unwrap;
+
+struct BudgetRow {
+  int64_t labeled = 0;
+  double f_measure = 0.0;
+};
+
+BudgetRow RunBudget(const CandidateSet& pairs,
+                    const std::vector<int32_t>& order, int64_t budget,
+                    const GroundTruthOracle& truth) {
+  GroundTruthOracle oracle = truth;
+  const BudgetLabeler::RunResult result =
+      Unwrap(BudgetLabeler().Run(pairs, order, budget, oracle));
+  std::vector<Label> labels;
+  labels.reserve(pairs.size());
+  for (const auto& outcome : result.outcomes) {
+    labels.push_back(outcome.has_value() ? outcome->label
+                                         : Label::kNonMatching);
+  }
+  return {result.num_crowdsourced + result.num_deduced,
+          ComputeQuality(pairs, labels, truth).f_measure};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const double threshold = args.GetDouble("threshold", 0.3);
+
+  std::printf("=== Ablation: labeling under a crowdsourcing budget "
+              "(Paper dataset, threshold %.1f) ===\n", threshold);
+  const ExperimentInput input = Unwrap(MakePaperExperimentInput(seed));
+  GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
+  const CandidateSet pairs = FilterByThreshold(input.candidates, threshold);
+  const std::vector<int32_t> expected_order = Unwrap(MakeLabelingOrder(
+      pairs, OrderKind::kExpected, &truth, /*rng=*/nullptr));
+  Rng rng(seed ^ 0x600d);
+  const std::vector<int32_t> random_order = Unwrap(
+      MakeLabelingOrder(pairs, OrderKind::kRandom, &truth, &rng));
+
+  TablePrinter table({"budget", "labeled (expected order)", "F (expected)",
+                      "labeled (random order)", "F (random)"});
+  for (int64_t budget : {100, 250, 500, 1000, 2000, 4000}) {
+    const BudgetRow expected = RunBudget(pairs, expected_order, budget, truth);
+    const BudgetRow random = RunBudget(pairs, random_order, budget, truth);
+    table.AddRow({std::to_string(budget),
+                  StrFormat("%lld / %zu",
+                            static_cast<long long>(expected.labeled),
+                            pairs.size()),
+                  StrFormat("%.2f%%", 100.0 * expected.f_measure),
+                  StrFormat("%lld / %zu",
+                            static_cast<long long>(random.labeled),
+                            pairs.size()),
+                  StrFormat("%.2f%%", 100.0 * random.f_measure)});
+  }
+  table.Print(std::cout);
+  std::printf("(a good order makes a small budget go much further: the "
+              "likely-matching pairs purchased first seed large clusters "
+              "whose remaining pairs come free)\n");
+  return 0;
+}

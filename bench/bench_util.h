@@ -1,0 +1,65 @@
+#ifndef CROWDJOIN_BENCH_BENCH_UTIL_H_
+#define CROWDJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace crowdjoin::bench {
+
+/// Minimal --flag=value parser for the figure/table harnesses.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  uint64_t GetUint64(std::string_view name, uint64_t fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return std::strtoull(value.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(std::string_view name, double fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return std::strtod(value.c_str(), nullptr);
+  }
+
+ private:
+  bool Find(std::string_view name, std::string* value) const {
+    const std::string prefix = "--" + std::string(name) + "=";
+    for (int i = 1; i < argc_; ++i) {
+      const std::string_view arg(argv_[i]);
+      if (arg.substr(0, prefix.size()) == prefix) {
+        *value = std::string(arg.substr(prefix.size()));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+/// Aborts with the status message when `status` is not OK.
+inline void CheckOk(const Status& status) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Unwraps a Result or aborts with its error.
+template <typename R>
+auto Unwrap(R result) {
+  CheckOk(result.status());
+  return std::move(result).value();
+}
+
+}  // namespace crowdjoin::bench
+
+#endif  // CROWDJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,48 @@
+// Reproduces Figure 10: cluster-size distributions of the Paper and
+// Product datasets. Prints one (cluster size, number of clusters) table per
+// dataset; the paper plots these on log axes.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "datagen/dataset.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using ::crowdjoin::ClusterSizeHistogram;
+using ::crowdjoin::ExperimentInput;
+using ::crowdjoin::TablePrinter;
+
+void PrintHistogram(const ExperimentInput& input) {
+  std::printf("\n-- %s: %zu records", input.dataset.name.c_str(),
+              input.dataset.records.size());
+  if (input.dataset.bipartite) {
+    std::printf(" (%lld x %lld bipartite)",
+                static_cast<long long>(input.dataset.SideCount(0)),
+                static_cast<long long>(input.dataset.SideCount(1)));
+  }
+  std::printf(", %lld true matching pairs --\n",
+              static_cast<long long>(NumTrueMatchingPairs(input.dataset)));
+  TablePrinter table({"cluster size", "# clusters"});
+  for (const auto& [size, count] : ClusterSizeHistogram(input.dataset)) {
+    table.AddRow({std::to_string(size), std::to_string(count)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+
+  std::printf("=== Figure 10: cluster-size distribution ===\n");
+  PrintHistogram(
+      crowdjoin::bench::Unwrap(crowdjoin::MakePaperExperimentInput(seed)));
+  PrintHistogram(
+      crowdjoin::bench::Unwrap(crowdjoin::MakeProductExperimentInput(seed)));
+  return 0;
+}

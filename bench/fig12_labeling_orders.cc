@@ -1,0 +1,64 @@
+// Reproduces Figure 12: number of crowdsourced pairs required by the four
+// labeling orders (Optimal, Expected, Random, Worst) as the likelihood
+// threshold sweeps from 0.5 to 0.1 on both datasets.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/labeling_order.h"
+#include "core/sequential_labeler.h"
+#include "eval/workbench.h"
+
+namespace {
+
+using namespace crowdjoin;  // NOLINT(build/namespaces)
+using crowdjoin::bench::Unwrap;
+
+int64_t CountCrowdsourced(const CandidateSet& pairs, OrderKind kind,
+                          GroundTruthOracle& truth, Rng& rng) {
+  const std::vector<int32_t> order =
+      Unwrap(MakeLabelingOrder(pairs, kind, &truth, &rng));
+  GroundTruthOracle oracle = truth;
+  return Unwrap(SequentialLabeler().Run(pairs, order, oracle))
+      .num_crowdsourced;
+}
+
+void RunSweep(const ExperimentInput& input, uint64_t seed) {
+  GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
+  TablePrinter table(
+      {"threshold", "candidates", "Optimal", "Expected", "Random", "Worst"});
+  for (double threshold : {0.5, 0.4, 0.3, 0.2, 0.1}) {
+    const CandidateSet pairs =
+        FilterByThreshold(input.candidates, threshold);
+    Rng rng(seed ^ 0x5bd1e995u);
+    table.AddRow(
+        {StrFormat("%.1f", threshold), std::to_string(pairs.size()),
+         std::to_string(
+             CountCrowdsourced(pairs, OrderKind::kOptimal, truth, rng)),
+         std::to_string(
+             CountCrowdsourced(pairs, OrderKind::kExpected, truth, rng)),
+         std::to_string(
+             CountCrowdsourced(pairs, OrderKind::kRandom, truth, rng)),
+         std::to_string(
+             CountCrowdsourced(pairs, OrderKind::kWorst, truth, rng))});
+  }
+  std::printf("\n-- %s --\n", input.dataset.name.c_str());
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+
+  std::printf("=== Figure 12: labeling-order comparison ===\n");
+  RunSweep(Unwrap(MakePaperExperimentInput(seed)), seed);
+  RunSweep(Unwrap(MakeProductExperimentInput(seed)), seed);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 13: pairs crowdsourced per iteration by the parallel
+// labeling algorithm vs the non-parallel (one pair per iteration) baseline
+// at likelihood threshold 0.3, on both datasets, using the expected order.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/parallel_comparison.h"
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const double threshold = args.GetDouble("threshold", 0.3);
+
+  std::printf("=== Figure 13: parallel vs non-parallel labeling "
+              "(threshold %.1f) ===\n", threshold);
+  crowdjoin::bench::RunParallelComparison(
+      crowdjoin::bench::Unwrap(crowdjoin::MakePaperExperimentInput(seed)),
+      threshold);
+  crowdjoin::bench::RunParallelComparison(
+      crowdjoin::bench::Unwrap(crowdjoin::MakeProductExperimentInput(seed)),
+      threshold);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Figure 14: the Figure 13 comparison at likelihood threshold
+// 0.4. A larger threshold keeps fewer candidate pairs, so the graph built
+// over them is sparser and the parallel labeler needs fewer iterations.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/parallel_comparison.h"
+
+int main(int argc, char** argv) {
+  const crowdjoin::bench::Args args(argc, argv);
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const double threshold = args.GetDouble("threshold", 0.4);
+
+  std::printf("=== Figure 14: parallel vs non-parallel labeling "
+              "(threshold %.1f) ===\n", threshold);
+  crowdjoin::bench::RunParallelComparison(
+      crowdjoin::bench::Unwrap(crowdjoin::MakePaperExperimentInput(seed)),
+      threshold);
+  crowdjoin::bench::RunParallelComparison(
+      crowdjoin::bench::Unwrap(crowdjoin::MakeProductExperimentInput(seed)),
+      threshold);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Microbenchmark + ablation: prefix-filter similarity join vs brute-force
+// all-pairs verification — the machine step's cost profile across
+// thresholds (higher thresholds prune better).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "simjoin/similarity_join.h"
+#include "simjoin/token_dictionary.h"
+
+namespace crowdjoin {
+namespace {
+
+struct Corpus {
+  TokenDictionary dictionary;
+  std::vector<std::vector<int32_t>> docs;
+};
+
+Corpus MakeCorpus(size_t num_docs, size_t tokens_per_doc, size_t vocabulary) {
+  Corpus corpus;
+  Rng rng(7);
+  const ZipfSampler sampler(vocabulary, 1.1);
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::vector<std::string> tokens;
+    for (size_t t = 0; t < tokens_per_doc; ++t) {
+      tokens.push_back(StrFormat("tok%llu",
+                                 static_cast<unsigned long long>(
+                                     sampler.Sample(rng))));
+    }
+    corpus.docs.push_back(corpus.dictionary.AddDocument(tokens));
+  }
+  return corpus;
+}
+
+void BM_PrefixFilterSelfJoin(benchmark::State& state) {
+  const auto num_docs = static_cast<size_t>(state.range(0));
+  const double threshold = static_cast<double>(state.range(1)) / 10.0;
+  Corpus corpus = MakeCorpus(num_docs, 12, 4096);
+  for (auto _ : state) {
+    auto result =
+        PrefixFilterSelfJoin(corpus.docs, corpus.dictionary, threshold);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_docs));
+}
+BENCHMARK(BM_PrefixFilterSelfJoin)
+    ->Args({1000, 3})
+    ->Args({1000, 5})
+    ->Args({1000, 8})
+    ->Args({4000, 5})
+    ->Args({4000, 8});
+
+void BM_BruteForceSelfJoin(benchmark::State& state) {
+  const auto num_docs = static_cast<size_t>(state.range(0));
+  const double threshold = static_cast<double>(state.range(1)) / 10.0;
+  Corpus corpus = MakeCorpus(num_docs, 12, 4096);
+  for (auto _ : state) {
+    auto result = BruteForceSelfJoin(corpus.docs, threshold);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_docs));
+}
+BENCHMARK(BM_BruteForceSelfJoin)->Args({1000, 5})->Args({1000, 8});
+
+}  // namespace
+}  // namespace crowdjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Microbenchmark: UnionFind under labeling-shaped op sequences — the
+// substrate cost of every Deduce/Add the labeling framework performs.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/union_find.h"
+
+namespace crowdjoin {
+namespace {
+
+void BM_UnionFindMixed(benchmark::State& state) {
+  const auto n = static_cast<int32_t>(state.range(0));
+  Rng rng(99);
+  std::vector<std::pair<int32_t, int32_t>> ops;
+  ops.reserve(4096);
+  for (int i = 0; i < 4096; ++i) {
+    ops.emplace_back(static_cast<int32_t>(rng.Index(static_cast<size_t>(n))),
+                     static_cast<int32_t>(rng.Index(static_cast<size_t>(n))));
+  }
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      // 1 union per 3 finds, roughly the framework's Deduce:Add ratio.
+      if (i % 4 == 0) {
+        uf.Union(ops[i].first, ops[i].second);
+      } else {
+        benchmark::DoNotOptimize(uf.Same(ops[i].first, ops[i].second));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ops.size()));
+}
+BENCHMARK(BM_UnionFindMixed)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_UnionFindAdversarialChain(benchmark::State& state) {
+  // Sequential chain unions followed by finds from the deep end: stresses
+  // path compression.
+  const auto n = static_cast<int32_t>(state.range(0));
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (int32_t i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+    int64_t sum = 0;
+    for (int32_t i = 0; i < n; ++i) sum += uf.Find(i);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_UnionFindAdversarialChain)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace crowdjoin
+
+BENCHMARK_MAIN();

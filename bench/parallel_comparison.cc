@@ -1,0 +1,43 @@
+#include "bench/parallel_comparison.h"
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/labeling_order.h"
+#include "core/parallel_labeler.h"
+#include "core/sequential_labeler.h"
+
+namespace crowdjoin::bench {
+
+void RunParallelComparison(const ExperimentInput& input, double threshold) {
+  GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
+  const CandidateSet pairs = FilterByThreshold(input.candidates, threshold);
+  const std::vector<int32_t> order = Unwrap(MakeLabelingOrder(
+      pairs, OrderKind::kExpected, &truth, /*rng=*/nullptr));
+
+  GroundTruthOracle oracle_seq = truth;
+  const LabelingResult sequential =
+      Unwrap(SequentialLabeler().Run(pairs, order, oracle_seq));
+  GroundTruthOracle oracle_par = truth;
+  const LabelingResult parallel =
+      Unwrap(ParallelLabeler().Run(pairs, order, oracle_par));
+
+  std::printf("\n-- %s (threshold=%.1f, %zu candidate pairs) --\n",
+              input.dataset.name.c_str(), threshold, pairs.size());
+  std::printf("Non-Parallel: %lld crowdsourced pairs in %zu iterations "
+              "(one pair per iteration)\n",
+              static_cast<long long>(sequential.num_crowdsourced),
+              sequential.crowdsourced_per_iteration.size());
+  std::printf("Parallel:     %lld crowdsourced pairs in %zu iterations\n",
+              static_cast<long long>(parallel.num_crowdsourced),
+              parallel.crowdsourced_per_iteration.size());
+  std::string series;
+  for (size_t i = 0; i < parallel.crowdsourced_per_iteration.size(); ++i) {
+    if (i > 0) series += ", ";
+    series += std::to_string(parallel.crowdsourced_per_iteration[i]);
+  }
+  std::printf("Parallel per-iteration batch sizes: [%s]\n", series.c_str());
+}
+
+}  // namespace crowdjoin::bench

@@ -1,0 +1,16 @@
+#ifndef CROWDJOIN_BENCH_PARALLEL_COMPARISON_H_
+#define CROWDJOIN_BENCH_PARALLEL_COMPARISON_H_
+
+#include "eval/workbench.h"
+
+namespace crowdjoin::bench {
+
+/// Shared body of the Figure 13 / Figure 14 harnesses: runs the sequential
+/// (Non-Parallel) and round-based parallel labelers on the candidate pairs
+/// above `threshold` in the expected order, and prints iteration counts and
+/// the parallel per-iteration batch-size series.
+void RunParallelComparison(const ExperimentInput& input, double threshold);
+
+}  // namespace crowdjoin::bench
+
+#endif  // CROWDJOIN_BENCH_PARALLEL_COMPARISON_H_

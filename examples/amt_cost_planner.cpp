@@ -1,0 +1,68 @@
+// Campaign planner: before spending real money on a crowdsourcing
+// platform, sweep the knobs that matter - replication, batching, worker
+// accuracy - on the discrete-event simulator and see what a transitive
+// campaign would cost and how long it would run.
+//
+//   $ ./amt_cost_planner [--seed=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/labeling_order.h"
+#include "crowd/orchestrator.h"
+#include "eval/metrics.h"
+#include "eval/workbench.h"
+
+using namespace crowdjoin;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+
+  const ExperimentInput input = MakePaperExperimentInput(seed).value();
+  GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
+  const CandidateSet pairs = FilterByThreshold(input.candidates, 0.4);
+  const auto order = MakeLabelingOrder(pairs, OrderKind::kExpected, &truth,
+                                       /*rng=*/nullptr)
+                         .value();
+  std::printf("planning a transitive campaign for %zu candidate pairs\n\n",
+              pairs.size());
+
+  TablePrinter table({"workers", "assignments/HIT", "worker accuracy",
+                      "HITs", "time", "cost", "F-measure"});
+  for (int workers : {10, 40}) {
+    for (int assignments : {1, 3, 5}) {
+      for (double error : {0.05, 0.20}) {
+        CrowdConfig config;
+        config.seed = seed;
+        config.num_workers = workers;
+        config.assignments_per_hit = assignments;
+        config.false_negative_rate = error;
+        config.false_positive_rate = error;
+        const AmtRunStats stats =
+            RunTransitiveAmt(pairs, order, config, truth).value();
+        const QualityMetrics quality =
+            ComputeQuality(pairs, stats.final_labels, truth);
+        table.AddRow({std::to_string(workers), std::to_string(assignments),
+                      StrFormat("%.0f%%", 100.0 * (1.0 - error)),
+                      std::to_string(stats.num_hits),
+                      StrFormat("%.0f h", stats.total_hours),
+                      StrFormat("$%.2f", stats.total_cost_cents / 100.0),
+                      StrFormat("%.1f%%", 100.0 * quality.f_measure)});
+      }
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\nreplication buys quality; batching and transitivity buy "
+              "money; workers buy time.\n");
+  return 0;
+}

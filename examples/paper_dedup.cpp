@@ -1,0 +1,92 @@
+// Publication deduplication end to end, the workload the paper's intro
+// motivates: a Cora-like bibliography with heavy duplication is resolved
+// with the hybrid machine + crowd + transitivity pipeline.
+//
+//   $ ./paper_dedup [--seed=N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/labeling_order.h"
+#include "core/parallel_labeler.h"
+#include "datagen/paper_dataset.h"
+#include "eval/metrics.h"
+#include "simjoin/candidate_generator.h"
+
+using namespace crowdjoin;  // NOLINT(build/namespaces)
+
+int main(int argc, char** argv) {
+  uint64_t seed = 42;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    }
+  }
+
+  // 1. A dirty bibliography: 997 records, heavy-tailed duplication.
+  PaperDatasetConfig config;
+  config.seed = seed;
+  const Dataset dataset = GeneratePaperDataset(config).value();
+  std::printf("generated %zu publication records "
+              "(%lld truly matching pairs hidden inside)\n",
+              dataset.records.size(),
+              static_cast<long long>(NumTrueMatchingPairs(dataset)));
+  std::printf("sample record: author=\"%s\" title=\"%s\" venue=\"%s\"\n",
+              dataset.records[1].fields[0].c_str(),
+              dataset.records[1].fields[1].c_str(),
+              dataset.records[1].fields[2].c_str());
+
+  // 2. Machine step: similarity join + multi-field scoring produce the
+  //    candidate pairs with matching likelihoods.
+  RecordScorer scorer = MakePaperScorer();
+  scorer.FitTfIdf(dataset.records);
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.08;
+  options.min_likelihood = 0.30;
+  const CandidateSet candidates =
+      GenerateCandidates(dataset.records, /*side_of=*/nullptr, scorer,
+                         options)
+          .value();
+  std::printf("machine step kept %zu candidate pairs (likelihood >= %.2f) "
+              "out of %lld possible\n",
+              candidates.size(), options.min_likelihood,
+              static_cast<long long>(
+                  static_cast<int64_t>(dataset.records.size()) *
+                  (static_cast<int64_t>(dataset.records.size()) - 1) / 2));
+
+  // 3. Crowd step with transitive relations, in the heuristic order.
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  const auto order = MakeLabelingOrder(candidates, OrderKind::kExpected,
+                                       &truth, /*rng=*/nullptr)
+                         .value();
+  GroundTruthOracle crowd = truth;  // simulated, always-correct workers
+  const LabelingResult result =
+      ParallelLabeler().Run(candidates, order, crowd).value();
+
+  std::vector<Label> labels;
+  labels.reserve(result.outcomes.size());
+  for (const auto& outcome : result.outcomes) labels.push_back(outcome.label);
+  const QualityMetrics quality = ComputeQuality(candidates, labels, truth);
+
+  const double savings =
+      100.0 * static_cast<double>(result.num_deduced) /
+      static_cast<double>(candidates.size());
+  std::printf("\ncrowdsourced %lld pairs, deduced %lld (%.1f%% saved) in "
+              "%zu parallel rounds\n",
+              static_cast<long long>(result.num_crowdsourced),
+              static_cast<long long>(result.num_deduced), savings,
+              result.crowdsourced_per_iteration.size());
+  std::printf("result quality: precision %.2f%%, recall %.2f%%, "
+              "F-measure %.2f%%\n",
+              100.0 * quality.precision, 100.0 * quality.recall,
+              100.0 * quality.f_measure);
+  std::printf("at 3 assignments x 2 cents per 20-pair HIT, that is "
+              "$%.2f instead of $%.2f\n",
+              0.06 * static_cast<double>(
+                         (result.num_crowdsourced + 19) / 20),
+              0.06 * static_cast<double>(
+                         (static_cast<int64_t>(candidates.size()) + 19) / 20));
+  return 0;
+}

@@ -1,0 +1,54 @@
+#ifndef CROWDJOIN_COMMON_LOGGING_H_
+#define CROWDJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace crowdjoin {
+
+/// Log severities, in increasing order of importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum severity that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace crowdjoin
+
+#define CJ_LOG(level)                                                  \
+  ::crowdjoin::internal::LogMessage(::crowdjoin::LogLevel::k##level,   \
+                                    __FILE__, __LINE__)
+
+#endif  // CROWDJOIN_COMMON_LOGGING_H_

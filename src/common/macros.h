@@ -1,0 +1,40 @@
+#ifndef CROWDJOIN_COMMON_MACROS_H_
+#define CROWDJOIN_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define CJ_RETURN_IF_ERROR(expr)                    \
+  do {                                              \
+    ::crowdjoin::Status cj_status_ = (expr);        \
+    if (!cj_status_.ok()) return cj_status_;        \
+  } while (false)
+
+#define CJ_MACRO_CONCAT_INNER(a, b) a##b
+#define CJ_MACRO_CONCAT(a, b) CJ_MACRO_CONCAT_INNER(a, b)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define CJ_ASSIGN_OR_RETURN(lhs, expr)                                \
+  CJ_ASSIGN_OR_RETURN_IMPL(CJ_MACRO_CONCAT(cj_result_, __LINE__), lhs, expr)
+
+#define CJ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+/// Aborts the process with a message when `cond` is false. Used for
+/// programming errors (invariant violations), never for data errors.
+#define CJ_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CJ_CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // CROWDJOIN_COMMON_MACROS_H_

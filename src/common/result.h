@@ -1,0 +1,69 @@
+#ifndef CROWDJOIN_COMMON_RESULT_H_
+#define CROWDJOIN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace crowdjoin {
+
+/// \brief A value-or-error holder: either a `T` or a non-OK `Status`.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessing the value of an
+/// errored result is a programming error and aborts in debug builds.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result from OK status");
+  }
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : rep_(std::move(value)) {}
+
+  /// True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is held, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// Borrows the held value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok() && "value() on errored Result");
+    return std::get<T>(rep_);
+  }
+  /// Borrows the held value mutably. Requires `ok()`.
+  T& value() & {
+    assert(ok() && "value() on errored Result");
+    return std::get<T>(rep_);
+  }
+  /// Moves the held value out. Requires `ok()`.
+  T&& value() && {
+    assert(ok() && "value() on errored Result");
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Returns the held value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_COMMON_RESULT_H_

@@ -1,0 +1,128 @@
+#ifndef CROWDJOIN_COMMON_STATUS_H_
+#define CROWDJOIN_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace crowdjoin {
+
+/// \brief Canonical error codes used throughout the library.
+///
+/// Library functions never throw exceptions across API boundaries; fallible
+/// operations return `Status` (or `Result<T>`, see result.h) instead, in the
+/// style of Arrow / RocksDB.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kInconsistent = 8,  ///< contradictory labels under transitive relations
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A cheap, movable success-or-error value.
+///
+/// An OK status carries no allocation; error statuses carry a code and a
+/// message. `Status` is `[[nodiscard]]`-friendly: callers must consume it
+/// (the CJ_RETURN_IF_ERROR macro in macros.h is the usual way).
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A `kOk` code with a
+  /// message is normalized to plain OK.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns a `kInvalidArgument` error with the given message.
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  /// Returns a `kNotFound` error with the given message.
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  /// Returns a `kAlreadyExists` error with the given message.
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  /// Returns a `kOutOfRange` error with the given message.
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  /// Returns a `kFailedPrecondition` error with the given message.
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  /// Returns a `kUnimplemented` error with the given message.
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  /// Returns a `kInternal` error with the given message.
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  /// Returns a `kInconsistent` error: contradictory transitive labels.
+  static Status Inconsistent(std::string message) {
+    return Status(StatusCode::kInconsistent, std::move(message));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+  /// The status code (`kOk` when `ok()`).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// The error message (empty when `ok()`).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// Renders as "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code() && a.message() == b.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;  // nullptr == OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_COMMON_STATUS_H_

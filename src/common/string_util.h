@@ -1,0 +1,36 @@
+#ifndef CROWDJOIN_COMMON_STRING_UTIL_H_
+#define CROWDJOIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdjoin {
+
+/// Splits `input` at every occurrence of `delim`; empty fields are kept.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lower-casing (locale-independent).
+std::string ToLower(std::string_view input);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True iff `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,44 @@
+#ifndef CROWDJOIN_COMMON_TABLE_PRINTER_H_
+#define CROWDJOIN_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace crowdjoin {
+
+/// \brief Column-aligned console table, used by the figure/table harnesses
+/// to print paper-style rows.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Minimal CSV emitter (RFC-4180 quoting) for machine-readable
+/// experiment output.
+class CsvWriter {
+ public:
+  /// Writes rows to `os`; does not take ownership.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row, quoting cells that contain commas/quotes/newlines.
+  void WriteRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_COMMON_TABLE_PRINTER_H_

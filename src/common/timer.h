@@ -1,0 +1,31 @@
+#ifndef CROWDJOIN_COMMON_TIMER_H_
+#define CROWDJOIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace crowdjoin {
+
+/// \brief Simple wall-clock stopwatch for harness reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction / last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_COMMON_TIMER_H_

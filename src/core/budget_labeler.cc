@@ -1,0 +1,42 @@
+#include "core/budget_labeler.h"
+
+#include "common/macros.h"
+#include "core/sequential_labeler.h"
+
+namespace crowdjoin {
+
+Result<BudgetLabeler::RunResult> BudgetLabeler::Run(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    int64_t budget, LabelOracle& oracle) const {
+  if (budget < 0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
+
+  RunResult result;
+  result.outcomes.resize(pairs.size());
+  ClusterGraph graph(NumObjectsSpanned(pairs));
+
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    auto& outcome = result.outcomes[static_cast<size_t>(pos)];
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    if (deduction != Deduction::kUndeduced) {
+      outcome = PairOutcome{DeductionToLabel(deduction),
+                            LabelSource::kDeduced};
+      ++result.num_deduced;
+      continue;
+    }
+    if (result.num_crowdsourced >= budget) {
+      ++result.num_unlabeled;  // money ran out; leave undecided
+      continue;
+    }
+    const Label label = oracle.GetLabel(pair.a, pair.b);
+    outcome = PairOutcome{label, LabelSource::kCrowdsourced};
+    ++result.num_crowdsourced;
+    graph.Add(pair.a, pair.b, label);
+  }
+  return result;
+}
+
+}  // namespace crowdjoin

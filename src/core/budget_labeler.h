@@ -1,0 +1,47 @@
+#ifndef CROWDJOIN_CORE_BUDGET_LABELER_H_
+#define CROWDJOIN_CORE_BUDGET_LABELER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/labeling_result.h"
+#include "core/oracle.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+/// \brief Budget-constrained labeling: the Whang et al. [27] setting the
+/// paper contrasts with in related work, combined with transitive
+/// deduction.
+///
+/// There is only enough money for `budget` crowdsourced pairs. The labeler
+/// walks the order, crowdsourcing undeduced pairs until the budget is
+/// exhausted; from then on only transitive deduction fires, and remaining
+/// pairs stay unlabeled. The caller decides how to treat unlabeled pairs
+/// (the usual convention, used by the ablation bench, is to predict
+/// non-matching).
+class BudgetLabeler {
+ public:
+  /// Result of a budget-limited run. `labels[i]` is empty for pairs the
+  /// budget could not reach.
+  struct RunResult {
+    std::vector<std::optional<PairOutcome>> outcomes;
+    int64_t num_crowdsourced = 0;
+    int64_t num_deduced = 0;
+    int64_t num_unlabeled = 0;
+  };
+
+  /// Labels up to `budget` pairs through `oracle`; deduces everything
+  /// transitivity reaches (before and after exhaustion).
+  /// `budget` must be >= 0.
+  Result<RunResult> Run(const CandidateSet& pairs,
+                        const std::vector<int32_t>& order, int64_t budget,
+                        LabelOracle& oracle) const;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_BUDGET_LABELER_H_

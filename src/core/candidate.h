@@ -1,0 +1,44 @@
+#ifndef CROWDJOIN_CORE_CANDIDATE_H_
+#define CROWDJOIN_CORE_CANDIDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief A machine-generated candidate matching pair (Section 2.3).
+///
+/// `likelihood` is the machine-estimated probability that the two objects
+/// match (e.g. a similarity score from the simjoin module); the sorting
+/// component uses it to build the heuristic labeling order, and the
+/// expected-cost calculator treats it as P(matching).
+struct CandidatePair {
+  ObjectId a = 0;
+  ObjectId b = 0;
+  double likelihood = 0.0;
+
+  friend bool operator==(const CandidatePair& x, const CandidatePair& y) {
+    return x.a == y.a && x.b == y.b && x.likelihood == y.likelihood;
+  }
+};
+
+/// A candidate set; positions in this vector identify pairs everywhere in
+/// the labeling framework (orders are permutations of these positions).
+using CandidateSet = std::vector<CandidatePair>;
+
+/// Returns 1 + the largest object id referenced by `pairs` (0 when empty);
+/// the ClusterGraph must be created over at least this many objects.
+inline int32_t NumObjectsSpanned(const CandidateSet& pairs) {
+  int32_t max_id = -1;
+  for (const auto& p : pairs) {
+    if (p.a > max_id) max_id = p.a;
+    if (p.b > max_id) max_id = p.b;
+  }
+  return max_id + 1;
+}
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_CANDIDATE_H_

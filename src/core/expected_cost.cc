@@ -1,0 +1,100 @@
+#include "core/expected_cost.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "graph/cluster_graph.h"
+#include "graph/union_find.h"
+
+namespace crowdjoin {
+
+bool IsConsistentAssignment(const CandidateSet& pairs,
+                            const std::vector<Label>& labels) {
+  CJ_CHECK(labels.size() == pairs.size());
+  UnionFind clusters(NumObjectsSpanned(pairs));
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (labels[i] == Label::kMatching) clusters.Union(pairs[i].a, pairs[i].b);
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (labels[i] == Label::kNonMatching &&
+        clusters.Same(pairs[i].a, pairs[i].b)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int64_t CrowdsourcedCountUnderAssignment(const CandidateSet& pairs,
+                                         const std::vector<int32_t>& order,
+                                         const std::vector<Label>& labels) {
+  ClusterGraph graph(NumObjectsSpanned(pairs));
+  int64_t crowdsourced = 0;
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    if (graph.Deduce(pair.a, pair.b) == Deduction::kUndeduced) {
+      ++crowdsourced;
+      graph.Add(pair.a, pair.b, labels[static_cast<size_t>(pos)]);
+    }
+  }
+  return crowdsourced;
+}
+
+Result<double> ExpectedCrowdsourcedCount(const CandidateSet& pairs,
+                                         const std::vector<int32_t>& order) {
+  const size_t n = pairs.size();
+  if (n > 20) {
+    return Status::InvalidArgument(StrFormat(
+        "exact expectation enumerates 2^n assignments; n=%zu > 20", n));
+  }
+  if (order.size() != n) {
+    return Status::InvalidArgument("order size mismatch");
+  }
+  std::vector<Label> labels(n, Label::kNonMatching);
+  double normalizer = 0.0;
+  double weighted_cost = 0.0;
+  const uint64_t num_assignments = 1ull << n;
+  for (uint64_t mask = 0; mask < num_assignments; ++mask) {
+    double weight = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      const bool matching = (mask >> i) & 1;
+      labels[i] = matching ? Label::kMatching : Label::kNonMatching;
+      weight *= matching ? pairs[i].likelihood : 1.0 - pairs[i].likelihood;
+    }
+    if (weight == 0.0) continue;
+    if (!IsConsistentAssignment(pairs, labels)) continue;
+    normalizer += weight;
+    weighted_cost +=
+        weight * static_cast<double>(
+                     CrowdsourcedCountUnderAssignment(pairs, order, labels));
+  }
+  if (normalizer <= 0.0) {
+    return Status::InvalidArgument(
+        "no transitively consistent assignment has positive probability");
+  }
+  return weighted_cost / normalizer;
+}
+
+Result<ScoredOrder> FindExpectedOptimalOrder(const CandidateSet& pairs) {
+  const size_t n = pairs.size();
+  if (n > 8) {
+    return Status::InvalidArgument(
+        StrFormat("brute force explores n! orders; n=%zu > 8", n));
+  }
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  ScoredOrder best;
+  best.expected_cost = static_cast<double>(n) + 1.0;
+  do {
+    CJ_ASSIGN_OR_RETURN(const double cost,
+                        ExpectedCrowdsourcedCount(pairs, order));
+    if (cost < best.expected_cost) {
+      best.expected_cost = cost;
+      best.order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+}  // namespace crowdjoin

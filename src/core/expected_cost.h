@@ -1,0 +1,52 @@
+#ifndef CROWDJOIN_CORE_EXPECTED_COST_H_
+#define CROWDJOIN_CORE_EXPECTED_COST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// True iff assigning `labels[i]` to `pairs[i]` is transitively consistent:
+/// no non-matching pair may connect two objects that matching pairs place in
+/// the same cluster.
+bool IsConsistentAssignment(const CandidateSet& pairs,
+                            const std::vector<Label>& labels);
+
+/// Number of crowdsourced pairs C(ω) when the pairs carry exactly `labels`
+/// and are processed in `order` by the sequential labeler (Definition 2).
+int64_t CrowdsourcedCountUnderAssignment(const CandidateSet& pairs,
+                                         const std::vector<int32_t>& order,
+                                         const std::vector<Label>& labels);
+
+/// \brief Exact expected number of crowdsourced pairs E[C(ω)] for `order`
+/// (Definition 3 / Example 4).
+///
+/// Pair `i` is matching with probability `pairs[i].likelihood`,
+/// independently, conditioned on transitive consistency (inconsistent label
+/// assignments are excluded and the remaining probability renormalized,
+/// matching the paper's Example 4 arithmetic).
+///
+/// Enumerates all 2^n assignments: requires `pairs.size() <= 20`.
+Result<double> ExpectedCrowdsourcedCount(const CandidateSet& pairs,
+                                         const std::vector<int32_t>& order);
+
+/// An order together with its exact expected crowdsourced-pair count.
+struct ScoredOrder {
+  std::vector<int32_t> order;
+  double expected_cost = 0.0;
+};
+
+/// \brief Brute-force expected-optimal labeling order.
+///
+/// The problem is NP-hard (Vesdapunt et al. [23]); this explores all n!
+/// permutations and is meant for evaluating the likelihood heuristic on
+/// small instances (`pairs.size() <= 8`).
+Result<ScoredOrder> FindExpectedOptimalOrder(const CandidateSet& pairs);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_EXPECTED_COST_H_

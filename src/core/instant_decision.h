@@ -1,0 +1,69 @@
+#ifndef CROWDJOIN_CORE_INSTANT_DECISION_H_
+#define CROWDJOIN_CORE_INSTANT_DECISION_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/labeling_result.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+/// \brief The instant-decision optimization of Section 5.2.
+///
+/// Instead of waiting for a whole round of published pairs to complete, the
+/// engine re-plans after *every single* completed pair and immediately
+/// publishes any pair that has become a must-crowdsource pair, keeping the
+/// crowdsourcing platform saturated with available HIT work (Figure 15).
+///
+/// Protocol:
+///   1. `Start()` returns the initial set of positions to publish.
+///   2. For every completed pair, call `OnPairLabeled(pos, label)`; it
+///      returns the *newly* publishable positions (possibly empty — in
+///      particular, completing a matching pair never unlocks new work,
+///      which is what motivates the non-matching-first policy).
+///   3. When `num_available() == 0`, every remaining unlabeled pair is
+///      deducible; call `Finish()` to resolve them and obtain the result.
+class InstantDecisionEngine {
+ public:
+  /// `pairs` must outlive the engine. `order` is a permutation of positions
+  /// into `pairs` (validated in Start()).
+  InstantDecisionEngine(const CandidateSet* pairs, std::vector<int32_t> order,
+                        ConflictPolicy policy = ConflictPolicy::kKeepFirst);
+
+  /// Computes and marks published the initial must-crowdsource set.
+  Result<std::vector<int32_t>> Start();
+
+  /// Records the crowd label of a published pair and returns the positions
+  /// that must now be published. `pos` must be published and unlabeled.
+  Result<std::vector<int32_t>> OnPairLabeled(int32_t pos, Label label);
+
+  /// Resolves all deduced labels. Requires `num_available() == 0`.
+  Result<LabelingResult> Finish();
+
+  /// Published-but-not-yet-labeled count: the pairs available to workers.
+  int64_t num_available() const { return num_available_; }
+  /// Pairs labeled by the crowd so far.
+  int64_t num_crowdsourced() const { return num_crowdsourced_; }
+  /// Total published so far (labeled or not).
+  int64_t num_published() const { return num_published_; }
+
+ private:
+  std::vector<int32_t> Scan();
+
+  const CandidateSet* pairs_;
+  std::vector<int32_t> order_;
+  ConflictPolicy policy_;
+  std::vector<std::optional<Label>> labels_;
+  std::vector<bool> published_;
+  int64_t num_available_ = 0;
+  int64_t num_crowdsourced_ = 0;
+  int64_t num_published_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_INSTANT_DECISION_H_

@@ -1,0 +1,70 @@
+#include "core/labeling_order.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdjoin {
+
+std::string_view OrderKindToString(OrderKind kind) {
+  switch (kind) {
+    case OrderKind::kOptimal:
+      return "Optimal Order";
+    case OrderKind::kExpected:
+      return "Expected Order";
+    case OrderKind::kRandom:
+      return "Random Order";
+    case OrderKind::kWorst:
+      return "Worst Order";
+  }
+  return "?";
+}
+
+Result<std::vector<int32_t>> MakeLabelingOrder(const CandidateSet& pairs,
+                                               OrderKind kind,
+                                               const GroundTruthOracle* truth,
+                                               Rng* rng) {
+  std::vector<int32_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Deterministic tie-break: decreasing likelihood, then position.
+  auto by_likelihood_desc = [&pairs](int32_t x, int32_t y) {
+    const auto& px = pairs[static_cast<size_t>(x)];
+    const auto& py = pairs[static_cast<size_t>(y)];
+    if (px.likelihood != py.likelihood) return px.likelihood > py.likelihood;
+    return x < y;
+  };
+
+  switch (kind) {
+    case OrderKind::kExpected:
+      std::sort(order.begin(), order.end(), by_likelihood_desc);
+      return order;
+    case OrderKind::kRandom:
+      if (rng == nullptr) {
+        return Status::InvalidArgument("random order requires an Rng");
+      }
+      rng->Shuffle(order);
+      return order;
+    case OrderKind::kOptimal:
+    case OrderKind::kWorst: {
+      if (truth == nullptr) {
+        return Status::InvalidArgument(
+            "optimal/worst orders require ground truth");
+      }
+      const Label first_group =
+          kind == OrderKind::kOptimal ? Label::kMatching : Label::kNonMatching;
+      std::sort(order.begin(), order.end(),
+                [&](int32_t x, int32_t y) {
+                  const auto& px = pairs[static_cast<size_t>(x)];
+                  const auto& py = pairs[static_cast<size_t>(y)];
+                  const bool gx = truth->Truth(px.a, px.b) == first_group;
+                  const bool gy = truth->Truth(py.a, py.b) == first_group;
+                  if (gx != gy) return gx;
+                  return by_likelihood_desc(x, y);
+                });
+      return order;
+    }
+  }
+  return Status::InvalidArgument("unknown order kind");
+}
+
+}  // namespace crowdjoin

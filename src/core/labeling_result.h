@@ -1,0 +1,42 @@
+#ifndef CROWDJOIN_CORE_LABELING_RESULT_H_
+#define CROWDJOIN_CORE_LABELING_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// How a pair's final label was obtained (Section 2.3's terminology).
+enum class LabelSource : uint8_t {
+  kCrowdsourced = 0,  ///< asked to (and billed on) the crowd platform
+  kDeduced = 1,       ///< inferred for free via transitive relations
+};
+
+/// Final label + provenance of one candidate pair.
+struct PairOutcome {
+  Label label = Label::kNonMatching;
+  LabelSource source = LabelSource::kCrowdsourced;
+};
+
+/// \brief Output of a labeling run over a candidate set.
+///
+/// `outcomes[i]` describes the pair at *position i of the candidate set*
+/// (not of the labeling order).
+struct LabelingResult {
+  std::vector<PairOutcome> outcomes;
+  int64_t num_crowdsourced = 0;
+  int64_t num_deduced = 0;
+  /// Contradictory labels encountered while building the ClusterGraph
+  /// (only possible with noisy oracles).
+  int64_t num_conflicts = 0;
+  /// Pairs crowdsourced per round of the parallel labeler; the sequential
+  /// labeler reports one entry per crowdsourced pair (all 1s), matching the
+  /// Non-Parallel series of Figures 13–14.
+  std::vector<int64_t> crowdsourced_per_iteration;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_LABELING_RESULT_H_

@@ -1,0 +1,50 @@
+#ifndef CROWDJOIN_CORE_ONE_TO_ONE_LABELER_H_
+#define CROWDJOIN_CORE_ONE_TO_ONE_LABELER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/labeling_result.h"
+#include "core/oracle.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+/// \brief Sequential labeler augmented with the *one-to-one relation* the
+/// paper's Section 8 names as future work.
+///
+/// In a bipartite join where every entity has at most one record per
+/// collection (the Product setting), a crowdsourced match (a, b) implies
+/// that every other pair involving a or b is non-matching. This labeler
+/// layers that deduction on top of the transitive ClusterGraph: a pair is
+/// crowdsourced only if neither transitivity nor the one-to-one rule
+/// decides it.
+///
+/// The rule is sound only when the workload really is one-to-one; applying
+/// it to data with duplicate listings inside one collection trades recall
+/// for savings. `ExclusivityViolations` in the result statistics counts
+/// crowd answers that contradicted the assumption (a second match for an
+/// already-matched object) — nonzero counts mean the assumption is wrong
+/// for the workload.
+class OneToOneLabeler {
+ public:
+  /// Result of a one-to-one labeling run.
+  struct RunResult {
+    LabelingResult labeling;
+    /// Pairs decided by the one-to-one rule (included in num_deduced).
+    int64_t num_one_to_one_deduced = 0;
+    /// Crowd answers that matched an already-matched object.
+    int64_t num_exclusivity_violations = 0;
+  };
+
+  /// Labels `pairs` in `order`; crowdsources pairs that neither transitive
+  /// relations nor one-to-one exclusivity can decide.
+  Result<RunResult> Run(const CandidateSet& pairs,
+                        const std::vector<int32_t>& order,
+                        LabelOracle& oracle) const;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_ONE_TO_ONE_LABELER_H_

@@ -1,0 +1,94 @@
+#ifndef CROWDJOIN_CORE_ORACLE_H_
+#define CROWDJOIN_CORE_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief Source of pair labels, abstracting "ask the crowd" in simulation.
+///
+/// The labelers call this once per crowdsourced pair. Implementations:
+/// ground truth (the paper's correct-answer assumption, Section 2.1) and a
+/// noisy wrapper used for the quality experiments (Table 2).
+class LabelOracle {
+ public:
+  virtual ~LabelOracle() = default;
+
+  /// The label the crowd returns for pair (a, b).
+  virtual Label GetLabel(ObjectId a, ObjectId b) = 0;
+
+  /// Number of labels served so far (i.e. crowdsourced pairs billed).
+  int64_t num_queries() const { return num_queries_; }
+
+ protected:
+  int64_t num_queries_ = 0;
+};
+
+/// \brief Always-correct oracle backed by an entity assignment: objects
+/// match iff they map to the same entity id.
+class GroundTruthOracle : public LabelOracle {
+ public:
+  /// `entity_of[o]` is the ground-truth entity of object `o`.
+  explicit GroundTruthOracle(std::vector<int32_t> entity_of)
+      : entity_of_(std::move(entity_of)) {}
+
+  Label GetLabel(ObjectId a, ObjectId b) override {
+    ++num_queries_;
+    return Truth(a, b);
+  }
+
+  /// The true label, without counting a query (for evaluation).
+  Label Truth(ObjectId a, ObjectId b) const {
+    return entity_of_[static_cast<size_t>(a)] ==
+                   entity_of_[static_cast<size_t>(b)]
+               ? Label::kMatching
+               : Label::kNonMatching;
+  }
+
+  /// The backing entity assignment.
+  const std::vector<int32_t>& entity_of() const { return entity_of_; }
+
+ private:
+  std::vector<int32_t> entity_of_;
+};
+
+/// \brief Oracle that flips the true label with class-dependent error
+/// rates, modelling an (un-aggregated) crowd worker's answer.
+///
+/// `false_negative_rate` is the probability a truly matching pair is
+/// answered "non-matching"; `false_positive_rate` the reverse. Aggregation
+/// (majority voting across assignments) lives in the crowd module.
+class NoisyOracle : public LabelOracle {
+ public:
+  NoisyOracle(const GroundTruthOracle* truth, double false_negative_rate,
+              double false_positive_rate, Rng rng)
+      : truth_(truth),
+        false_negative_rate_(false_negative_rate),
+        false_positive_rate_(false_positive_rate),
+        rng_(rng) {}
+
+  Label GetLabel(ObjectId a, ObjectId b) override {
+    ++num_queries_;
+    const Label real = truth_->Truth(a, b);
+    if (real == Label::kMatching) {
+      return rng_.Bernoulli(false_negative_rate_) ? Label::kNonMatching
+                                                  : Label::kMatching;
+    }
+    return rng_.Bernoulli(false_positive_rate_) ? Label::kMatching
+                                                : Label::kNonMatching;
+  }
+
+ private:
+  const GroundTruthOracle* truth_;
+  double false_negative_rate_;
+  double false_positive_rate_;
+  Rng rng_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_ORACLE_H_

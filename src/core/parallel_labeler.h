@@ -1,0 +1,59 @@
+#ifndef CROWDJOIN_CORE_PARALLEL_LABELER_H_
+#define CROWDJOIN_CORE_PARALLEL_LABELER_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/labeling_result.h"
+#include "core/oracle.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+/// \brief Identifies the pairs that can be crowdsourced in parallel
+/// (Algorithm 3, ParallelCrowdsourcedPairs).
+///
+/// Scans the labeling order once, inserting already-labeled pairs with
+/// their real labels and assuming every unlabeled pair is matching (the
+/// assumption that maximizes deducibility). An unlabeled pair that is still
+/// undeducible under this assumption can never become deducible from its
+/// prefix, whatever labels arrive later, so it *must* be crowdsourced.
+///
+/// `labels_by_pos[i]` is the label of candidate position `i` if known.
+/// Positions in `exclude_from_output` (e.g. already-published pairs, for
+/// the instant-decision optimization) are still treated as must-crowdsource
+/// pairs in the scan but are omitted from the returned set.
+std::vector<int32_t> ParallelCrowdsourcedPairs(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const std::vector<std::optional<Label>>& labels_by_pos,
+    const std::vector<bool>* exclude_from_output = nullptr,
+    ConflictPolicy policy = ConflictPolicy::kKeepFirst);
+
+/// \brief The round-based parallel labeling algorithm of Section 5.1
+/// (Algorithm 2).
+///
+/// Each round publishes every must-crowdsource pair at once, obtains all
+/// their labels, then deduces every pair that became deducible, and repeats
+/// until all pairs are labeled. The crowdsourced pair *set* is identical to
+/// the sequential labeler's on the same order; only the number of rounds
+/// differs (Figures 13–14).
+class ParallelLabeler {
+ public:
+  explicit ParallelLabeler(ConflictPolicy policy = ConflictPolicy::kKeepFirst)
+      : policy_(policy) {}
+
+  /// Runs rounds until every pair is labeled. `crowdsourced_per_iteration`
+  /// in the result holds the batch size of every round.
+  Result<LabelingResult> Run(const CandidateSet& pairs,
+                             const std::vector<int32_t>& order,
+                             LabelOracle& oracle) const;
+
+ private:
+  ConflictPolicy policy_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_PARALLEL_LABELER_H_

@@ -1,0 +1,47 @@
+#ifndef CROWDJOIN_CORE_SEQUENTIAL_LABELER_H_
+#define CROWDJOIN_CORE_SEQUENTIAL_LABELER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/labeling_result.h"
+#include "core/oracle.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+/// \brief The simple one-pair-at-a-time labeling algorithm of Section 3.2.
+///
+/// Walks the labeling order; each pair is deduced from the prefix of
+/// already-labeled pairs via the ClusterGraph when possible, and
+/// crowdsourced (one oracle query) otherwise. This defines the canonical
+/// crowdsourced-pair count C(ω) of Section 4 — the parallel labeler
+/// crowdsources exactly the same set of pairs, only in batches.
+class SequentialLabeler {
+ public:
+  /// `policy` governs contradictory labels (only reachable with noisy
+  /// oracles; see ClusterGraph).
+  explicit SequentialLabeler(
+      ConflictPolicy policy = ConflictPolicy::kKeepFirst)
+      : policy_(policy) {}
+
+  /// Labels `pairs` following `order` (a permutation of positions into
+  /// `pairs`), querying `oracle` for every non-deducible pair.
+  ///
+  /// Returns InvalidArgument if `order` is not a permutation of
+  /// `[0, pairs.size())`.
+  Result<LabelingResult> Run(const CandidateSet& pairs,
+                             const std::vector<int32_t>& order,
+                             LabelOracle& oracle) const;
+
+ private:
+  ConflictPolicy policy_;
+};
+
+/// Validates that `order` is a permutation of `[0, n)`.
+Status ValidateOrder(const std::vector<int32_t>& order, size_t n);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_SEQUENTIAL_LABELER_H_

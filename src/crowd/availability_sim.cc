@@ -1,0 +1,101 @@
+#include "crowd/availability_sim.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/macros.h"
+#include "core/instant_decision.h"
+#include "core/parallel_labeler.h"
+
+namespace crowdjoin {
+
+namespace {
+
+// Picks and removes the next pair a worker completes from `available`.
+int32_t TakeNext(std::vector<int32_t>& available, const CandidateSet& pairs,
+                 CompletionOrder completion_order, Rng& rng) {
+  CJ_CHECK(!available.empty());
+  size_t chosen = 0;
+  if (completion_order == CompletionOrder::kRandom) {
+    chosen = rng.Index(available.size());
+  } else {
+    // Non-matching first: lowest likelihood is labeled next.
+    for (size_t i = 1; i < available.size(); ++i) {
+      const double li =
+          pairs[static_cast<size_t>(available[i])].likelihood;
+      const double lc =
+          pairs[static_cast<size_t>(available[chosen])].likelihood;
+      if (li < lc) chosen = i;
+    }
+  }
+  const int32_t pos = available[chosen];
+  available[chosen] = available.back();
+  available.pop_back();
+  return pos;
+}
+
+}  // namespace
+
+Result<std::vector<AvailabilityPoint>> SimulateAvailability(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    LabelOracle& oracle, PublicationPolicy publication_policy,
+    CompletionOrder completion_order, Rng& rng) {
+  std::vector<AvailabilityPoint> series;
+  int64_t num_crowdsourced = 0;
+
+  if (publication_policy == PublicationPolicy::kRoundParallel) {
+    std::vector<std::optional<Label>> labels(pairs.size());
+    size_t num_labeled = 0;
+    while (num_labeled < pairs.size()) {
+      std::vector<int32_t> batch = ParallelCrowdsourcedPairs(
+          pairs, order, labels, /*exclude_from_output=*/nullptr);
+      if (batch.empty()) break;  // everything left is deducible
+      std::vector<int32_t> available = batch;
+      while (!available.empty()) {
+        const int32_t pos =
+            TakeNext(available, pairs, completion_order, rng);
+        const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+        labels[static_cast<size_t>(pos)] = oracle.GetLabel(pair.a, pair.b);
+        ++num_crowdsourced;
+        series.push_back(
+            {num_crowdsourced, static_cast<int64_t>(available.size())});
+      }
+      // Deduce what became deducible before the next round (Algorithm 2).
+      ClusterGraph graph(NumObjectsSpanned(pairs));
+      num_labeled = 0;
+      for (int32_t pos : order) {
+        const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+        auto& label = labels[static_cast<size_t>(pos)];
+        if (label.has_value()) {
+          graph.Add(pair.a, pair.b, *label);
+          ++num_labeled;
+          continue;
+        }
+        const Deduction deduction = graph.Deduce(pair.a, pair.b);
+        if (deduction != Deduction::kUndeduced) {
+          label = DeductionToLabel(deduction);
+          ++num_labeled;
+        }
+      }
+    }
+    return series;
+  }
+
+  // Instant decision: the engine re-plans after every completion.
+  InstantDecisionEngine engine(&pairs, order);
+  CJ_ASSIGN_OR_RETURN(std::vector<int32_t> available, engine.Start());
+  while (!available.empty()) {
+    const int32_t pos = TakeNext(available, pairs, completion_order, rng);
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const Label label = oracle.GetLabel(pair.a, pair.b);
+    ++num_crowdsourced;
+    CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
+                        engine.OnPairLabeled(pos, label));
+    available.insert(available.end(), fresh.begin(), fresh.end());
+    series.push_back(
+        {num_crowdsourced, static_cast<int64_t>(available.size())});
+  }
+  return series;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,49 @@
+#ifndef CROWDJOIN_CROWD_AVAILABILITY_SIM_H_
+#define CROWDJOIN_CROWD_AVAILABILITY_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "core/oracle.h"
+
+namespace crowdjoin {
+
+/// Publication strategies compared in Figure 15.
+enum class PublicationPolicy : uint8_t {
+  /// Algorithm 2: publish a round's batch, wait for *all* of it to be
+  /// labeled before computing the next batch ("Parallel").
+  kRoundParallel = 0,
+  /// Section 5.2: re-plan and publish after every single completed pair
+  /// ("Parallel(ID)").
+  kInstantDecision = 1,
+};
+
+/// The order in which workers complete the published pairs.
+enum class CompletionOrder : uint8_t {
+  kRandom = 0,            ///< AMT's random HIT assignment
+  kNonMatchingFirst = 1,  ///< lowest match-likelihood first ("NF")
+};
+
+/// One point of the Figure 15 series, recorded after every completion.
+struct AvailabilityPoint {
+  int64_t num_crowdsourced = 0;  ///< pairs labeled by the crowd so far
+  int64_t num_available = 0;     ///< published, not-yet-labeled pairs
+};
+
+/// \brief Pair-granular simulation of platform availability (Figure 15).
+///
+/// Models workers as a sequential stream of completions drawn from the
+/// available (published, unlabeled) set according to `completion_order`,
+/// while the publication policy decides when new pairs are published.
+/// Returns the availability time series; `oracle` provides the labels.
+Result<std::vector<AvailabilityPoint>> SimulateAvailability(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    LabelOracle& oracle, PublicationPolicy publication_policy,
+    CompletionOrder completion_order, Rng& rng);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CROWD_AVAILABILITY_SIM_H_

@@ -1,0 +1,168 @@
+#include "crowd/orchestrator.h"
+
+#include <deque>
+
+#include "common/macros.h"
+#include "core/instant_decision.h"
+#include "crowd/platform.h"
+
+namespace crowdjoin {
+
+namespace {
+
+PairTask MakeTask(const CandidateSet& pairs, int32_t pos) {
+  const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+  return {pos, pair.a, pair.b, pair.likelihood};
+}
+
+// Pops up to `limit` positions from the front of `queue` into one HIT.
+std::vector<PairTask> TakeHitTasks(const CandidateSet& pairs,
+                                   std::deque<int32_t>& queue, int limit) {
+  std::vector<PairTask> tasks;
+  while (!queue.empty() && static_cast<int>(tasks.size()) < limit) {
+    tasks.push_back(MakeTask(pairs, queue.front()));
+    queue.pop_front();
+  }
+  return tasks;
+}
+
+}  // namespace
+
+Result<AmtRunStats> RunNonTransitiveAmt(const CandidateSet& pairs,
+                                        const CrowdConfig& config,
+                                        const GroundTruthOracle& truth) {
+  CrowdPlatform platform(config, &truth);
+  std::deque<int32_t> queue;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    queue.push_back(static_cast<int32_t>(i));
+  }
+  while (!queue.empty()) {
+    CJ_ASSIGN_OR_RETURN(
+        int64_t hit_id,
+        platform.PublishHit(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
+    (void)hit_id;
+  }
+
+  AmtRunStats stats;
+  stats.final_labels.assign(pairs.size(), Label::kNonMatching);
+  while (auto result = platform.RunUntilNextHitCompletion()) {
+    for (const CompletedPair& pair : result->pairs) {
+      stats.final_labels[static_cast<size_t>(pair.position)] = pair.label;
+    }
+  }
+  stats.num_hits = platform.num_hits_published();
+  stats.num_assignments = platform.num_assignments_completed();
+  stats.total_hours = platform.now_hours();
+  stats.total_cost_cents = platform.total_cost_cents();
+  stats.num_crowdsourced_pairs = static_cast<int64_t>(pairs.size());
+  stats.num_deduced_pairs = 0;
+  return stats;
+}
+
+Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
+                                     const std::vector<int32_t>& order,
+                                     const CrowdConfig& config,
+                                     const GroundTruthOracle& truth) {
+  CrowdPlatform platform(config, &truth);
+  InstantDecisionEngine engine(&pairs, order);
+  std::deque<int32_t> buffer;
+
+  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial, engine.Start());
+  buffer.insert(buffer.end(), initial.begin(), initial.end());
+
+  int64_t in_flight = 0;
+  while (true) {
+    // Publish full HITs; flush a partial HIT only when the platform would
+    // otherwise go idle (nothing in flight to produce more work).
+    while (static_cast<int>(buffer.size()) >= config.pairs_per_hit) {
+      CJ_ASSIGN_OR_RETURN(int64_t hit_id,
+                          platform.PublishHit(TakeHitTasks(
+                              pairs, buffer, config.pairs_per_hit)));
+      (void)hit_id;
+      ++in_flight;
+    }
+    if (in_flight == 0) {
+      if (buffer.empty()) break;  // campaign complete
+      CJ_ASSIGN_OR_RETURN(int64_t hit_id,
+                          platform.PublishHit(TakeHitTasks(
+                              pairs, buffer, config.pairs_per_hit)));
+      (void)hit_id;
+      ++in_flight;
+    }
+    auto result = platform.RunUntilNextHitCompletion();
+    CJ_CHECK(result.has_value());  // in_flight > 0 implies pending work
+    --in_flight;
+    for (const CompletedPair& pair : result->pairs) {
+      CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
+                          engine.OnPairLabeled(pair.position, pair.label));
+      buffer.insert(buffer.end(), fresh.begin(), fresh.end());
+    }
+  }
+
+  CJ_ASSIGN_OR_RETURN(const LabelingResult labeling, engine.Finish());
+  AmtRunStats stats;
+  stats.final_labels.reserve(pairs.size());
+  for (const PairOutcome& outcome : labeling.outcomes) {
+    stats.final_labels.push_back(outcome.label);
+  }
+  stats.num_hits = platform.num_hits_published();
+  stats.num_assignments = platform.num_assignments_completed();
+  stats.total_hours = platform.now_hours();
+  stats.total_cost_cents = platform.total_cost_cents();
+  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
+  stats.num_deduced_pairs = labeling.num_deduced;
+  return stats;
+}
+
+Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
+                                      const std::vector<int32_t>& order,
+                                      const CrowdConfig& config,
+                                      const GroundTruthOracle& truth) {
+  // Determine the crowdsourced pair sequence with a synchronous (instant)
+  // ground-truth run of the same engine Parallel(ID) uses, so both
+  // publication strategies pay for exactly the same HITs (Section 6.4).
+  InstantDecisionEngine engine(&pairs, order);
+  std::deque<int32_t> pending;
+  std::vector<int32_t> crowdsourced_sequence;
+  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial, engine.Start());
+  pending.insert(pending.end(), initial.begin(), initial.end());
+  while (!pending.empty()) {
+    const int32_t pos = pending.front();
+    pending.pop_front();
+    crowdsourced_sequence.push_back(pos);
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    CJ_ASSIGN_OR_RETURN(
+        const std::vector<int32_t> fresh,
+        engine.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)));
+    pending.insert(pending.end(), fresh.begin(), fresh.end());
+  }
+  CJ_ASSIGN_OR_RETURN(const LabelingResult labeling, engine.Finish());
+
+  // Publish those HITs strictly one at a time.
+  CrowdPlatform platform(config, &truth);
+  std::deque<int32_t> queue(crowdsourced_sequence.begin(),
+                            crowdsourced_sequence.end());
+  while (!queue.empty()) {
+    CJ_ASSIGN_OR_RETURN(
+        int64_t hit_id,
+        platform.PublishHit(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
+    (void)hit_id;
+    auto result = platform.RunUntilNextHitCompletion();
+    CJ_CHECK(result.has_value());
+  }
+
+  AmtRunStats stats;
+  stats.final_labels.reserve(pairs.size());
+  for (const PairOutcome& outcome : labeling.outcomes) {
+    stats.final_labels.push_back(outcome.label);
+  }
+  stats.num_hits = platform.num_hits_published();
+  stats.num_assignments = platform.num_assignments_completed();
+  stats.total_hours = platform.now_hours();
+  stats.total_cost_cents = platform.total_cost_cents();
+  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
+  stats.num_deduced_pairs = labeling.num_deduced;
+  return stats;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,56 @@
+#ifndef CROWDJOIN_CROWD_ORCHESTRATOR_H_
+#define CROWDJOIN_CROWD_ORCHESTRATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "core/oracle.h"
+#include "crowd/config.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// Outcome of one simulated AMT campaign (a row of Table 1 / Table 2).
+struct AmtRunStats {
+  int64_t num_hits = 0;
+  int64_t num_assignments = 0;
+  double total_hours = 0.0;
+  double total_cost_cents = 0.0;
+  int64_t num_crowdsourced_pairs = 0;
+  int64_t num_deduced_pairs = 0;
+  /// Final label per candidate position (crowd answers where crowdsourced,
+  /// transitive deductions elsewhere).
+  std::vector<Label> final_labels;
+};
+
+/// \brief "Non-Transitive" baseline: publishes *every* candidate pair to
+/// the platform immediately (batched into HITs) and takes the majority
+/// votes as the final labels. No deduction happens.
+Result<AmtRunStats> RunNonTransitiveAmt(const CandidateSet& pairs,
+                                        const CrowdConfig& config,
+                                        const GroundTruthOracle& truth);
+
+/// \brief "Transitive" campaign: the instant-decision engine publishes
+/// only must-crowdsource pairs (in the given labeling order), batched into
+/// HITs; every other pair's label is deduced transitively. Majority-voted
+/// crowd answers feed the deduction, so worker errors propagate — exactly
+/// the effect Table 2 quantifies.
+Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
+                                     const std::vector<int32_t>& order,
+                                     const CrowdConfig& config,
+                                     const GroundTruthOracle& truth);
+
+/// \brief Table 1's "Non-Parallel" baseline: crowdsources exactly the same
+/// HITs as the transitive (Parallel(ID)) campaign but publishes them one at
+/// a time, waiting for each to complete before publishing the next.
+/// Assumes correct answers (Table 1 isolates completion time).
+Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
+                                      const std::vector<int32_t>& order,
+                                      const CrowdConfig& config,
+                                      const GroundTruthOracle& truth);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CROWD_ORCHESTRATOR_H_

@@ -1,0 +1,187 @@
+#include "crowd/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+CrowdPlatform::CrowdPlatform(const CrowdConfig& config,
+                             const GroundTruthOracle* truth)
+    : config_(config), truth_(truth), rng_(config.seed) {
+  CJ_CHECK(config_.pairs_per_hit >= 1);
+  CJ_CHECK(config_.assignments_per_hit >= 1);
+  CJ_CHECK(config_.num_workers >= config_.assignments_per_hit);
+  BuildWorkerPool();
+}
+
+void CrowdPlatform::BuildWorkerPool() {
+  auto clamp_rate = [](double rate) {
+    return std::clamp(rate, 0.0, 0.95);
+  };
+  // Regenerate until at least `assignments_per_hit` workers pass the
+  // qualification test, so every HIT can be staffed.
+  while (true) {
+    workers_.clear();
+    for (int w = 0; w < config_.num_workers; ++w) {
+      Worker worker;
+      worker.false_negative_rate = clamp_rate(
+          config_.false_negative_rate +
+          rng_.Normal(0.0, config_.worker_rate_stddev));
+      worker.false_positive_rate = clamp_rate(
+          config_.false_positive_rate +
+          rng_.Normal(0.0, config_.worker_rate_stddev));
+      if (config_.use_qualification_test) {
+        // The screening set mixes matching and non-matching pairs; the
+        // worker must answer every question correctly to qualify.
+        bool passed = true;
+        for (int q = 0; q < config_.qualification_questions; ++q) {
+          const bool question_is_matching = (q % 2 == 0);
+          const double error_rate = question_is_matching
+                                        ? worker.false_negative_rate
+                                        : worker.false_positive_rate;
+          if (rng_.Bernoulli(error_rate)) {
+            passed = false;
+            break;
+          }
+        }
+        if (!passed) continue;
+      }
+      workers_.push_back(worker);
+    }
+    if (static_cast<int>(workers_.size()) >= config_.assignments_per_hit) {
+      return;
+    }
+  }
+}
+
+Result<int64_t> CrowdPlatform::PublishHit(std::vector<PairTask> tasks) {
+  if (tasks.empty()) {
+    return Status::InvalidArgument("cannot publish an empty HIT");
+  }
+  if (static_cast<int>(tasks.size()) > config_.pairs_per_hit) {
+    return Status::InvalidArgument("HIT exceeds pairs_per_hit");
+  }
+  Hit hit;
+  hit.published_at_hours = now_hours_;
+  hit.matching_votes.assign(tasks.size(), 0);
+  hit.tasks = std::move(tasks);
+  hits_.push_back(std::move(hit));
+  const int64_t hit_id = static_cast<int64_t>(hits_.size()) - 1;
+  ScheduleAssignments();
+  return hit_id;
+}
+
+void CrowdPlatform::ScheduleAssignments() {
+  // Greedy: repeatedly give the earliest-free worker the oldest published
+  // HIT they have not yet answered that still needs assignments.
+  while (true) {
+    // Workers sorted by availability; try each until one can take work.
+    std::vector<int> worker_order(workers_.size());
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      worker_order[w] = static_cast<int>(w);
+    }
+    std::sort(worker_order.begin(), worker_order.end(), [this](int x, int y) {
+      if (workers_[static_cast<size_t>(x)].free_at_hours !=
+          workers_[static_cast<size_t>(y)].free_at_hours) {
+        return workers_[static_cast<size_t>(x)].free_at_hours <
+               workers_[static_cast<size_t>(y)].free_at_hours;
+      }
+      return x < y;
+    });
+    // Skip the fully-started prefix of the HIT list (monotone pointer).
+    while (first_open_hit_ < hits_.size() &&
+           hits_[first_open_hit_].assignments_started >=
+               config_.assignments_per_hit) {
+      ++first_open_hit_;
+    }
+    bool assigned = false;
+    for (int w : worker_order) {
+      for (size_t h = first_open_hit_; h < hits_.size(); ++h) {
+        Hit& hit = hits_[h];
+        if (hit.assignments_started >= config_.assignments_per_hit) continue;
+        if (hit.workers_used.contains(w)) continue;
+        // Start after the worker frees up and the HIT exists; the pickup
+        // delay models the task sitting unnoticed on the platform.
+        const double pickup = rng_.Exponential(config_.mean_pickup_hours);
+        const double service_mu =
+            std::log(config_.mean_service_hours) -
+            0.5 * config_.service_sigma * config_.service_sigma;
+        const double service =
+            rng_.LogNormal(service_mu, config_.service_sigma);
+        const double start =
+            std::max(workers_[static_cast<size_t>(w)].free_at_hours,
+                     hit.published_at_hours) +
+            pickup;
+        AssignmentEvent event;
+        event.completes_at_hours = start + service;
+        event.worker = w;
+        event.hit_id = static_cast<int64_t>(h);
+        events_.push(event);
+        workers_[static_cast<size_t>(w)].free_at_hours =
+            event.completes_at_hours;
+        hit.workers_used.insert(w);
+        ++hit.assignments_started;
+        assigned = true;
+        break;
+      }
+      if (assigned) break;
+    }
+    if (!assigned) return;
+  }
+}
+
+std::optional<int64_t> CrowdPlatform::CompleteAssignment(
+    const AssignmentEvent& event) {
+  Hit& hit = hits_[static_cast<size_t>(event.hit_id)];
+  const Worker& worker = workers_[static_cast<size_t>(event.worker)];
+  for (size_t t = 0; t < hit.tasks.size(); ++t) {
+    const PairTask& task = hit.tasks[t];
+    const Label real = truth_->Truth(task.a, task.b);
+    Label answer = real;
+    if (real == Label::kMatching) {
+      if (rng_.Bernoulli(worker.false_negative_rate)) {
+        answer = Label::kNonMatching;
+      }
+    } else if (rng_.Bernoulli(worker.false_positive_rate)) {
+      answer = Label::kMatching;
+    }
+    if (answer == Label::kMatching) ++hit.matching_votes[t];
+  }
+  ++hit.assignments_done;
+  ++num_assignments_completed_;
+  if (hit.assignments_done == config_.assignments_per_hit) {
+    return event.hit_id;
+  }
+  return std::nullopt;
+}
+
+std::optional<HitResult> CrowdPlatform::RunUntilNextHitCompletion() {
+  while (!events_.empty()) {
+    const AssignmentEvent event = events_.top();
+    events_.pop();
+    now_hours_ = std::max(now_hours_, event.completes_at_hours);
+    const std::optional<int64_t> done_hit = CompleteAssignment(event);
+    ScheduleAssignments();
+    if (!done_hit.has_value()) continue;
+    ++num_hits_completed_;
+    const Hit& hit = hits_[static_cast<size_t>(*done_hit)];
+    HitResult result;
+    result.hit_id = *done_hit;
+    result.completed_at_hours = now_hours_;
+    result.pairs.reserve(hit.tasks.size());
+    for (size_t t = 0; t < hit.tasks.size(); ++t) {
+      // Majority vote; an even split counts as non-matching.
+      const bool matching =
+          2 * hit.matching_votes[t] > config_.assignments_per_hit;
+      result.pairs.push_back(
+          {hit.tasks[t].position,
+           matching ? Label::kMatching : Label::kNonMatching});
+    }
+    return result;
+  }
+  return std::nullopt;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,127 @@
+#ifndef CROWDJOIN_CROWD_PLATFORM_H_
+#define CROWDJOIN_CROWD_PLATFORM_H_
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "core/oracle.h"
+#include "crowd/config.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// One pair inside a HIT, tagged with its candidate-set position.
+struct PairTask {
+  int32_t position = 0;
+  ObjectId a = 0;
+  ObjectId b = 0;
+  double likelihood = 0.0;
+};
+
+/// Majority-voted label of one pair of a completed HIT.
+struct CompletedPair {
+  int32_t position = 0;
+  Label label = Label::kNonMatching;
+};
+
+/// Everything known about a HIT once its last assignment finishes.
+struct HitResult {
+  int64_t hit_id = 0;
+  double completed_at_hours = 0.0;
+  std::vector<CompletedPair> pairs;
+};
+
+/// \brief Discrete-event simulation of a microtask crowdsourcing platform.
+///
+/// Callers publish HITs (batches of pair tasks); a pool of simulated
+/// workers picks up assignments (each HIT is answered by
+/// `assignments_per_hit` distinct workers, per AMT semantics), answers each
+/// pair with per-worker error rates against the ground truth, and the
+/// platform majority-votes the assignments into per-pair labels.
+///
+/// The simulation is deterministic given the config seed.
+class CrowdPlatform {
+ public:
+  /// `truth` must outlive the platform.
+  CrowdPlatform(const CrowdConfig& config, const GroundTruthOracle* truth);
+
+  /// Publishes one HIT; pairs of the HIT are answered together.
+  /// Returns the HIT id, or InvalidArgument for an empty task list.
+  Result<int64_t> PublishHit(std::vector<PairTask> tasks);
+
+  /// Advances simulated time until the next HIT fully completes and
+  /// returns its majority-voted result; nullopt when nothing is in flight.
+  std::optional<HitResult> RunUntilNextHitCompletion();
+
+  /// Current simulated wall-clock, in hours.
+  double now_hours() const { return now_hours_; }
+
+  /// HITs published so far.
+  int64_t num_hits_published() const { return static_cast<int64_t>(hits_.size()); }
+  /// HITs fully completed so far.
+  int64_t num_hits_completed() const { return num_hits_completed_; }
+  /// Assignments completed so far.
+  int64_t num_assignments_completed() const { return num_assignments_completed_; }
+  /// Money spent so far, in cents (assignments * price).
+  double total_cost_cents() const {
+    return static_cast<double>(num_assignments_completed_) *
+           config_.cents_per_assignment;
+  }
+  /// Workers that survived the qualification test.
+  int num_active_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Worker {
+    double free_at_hours = 0.0;
+    double false_negative_rate = 0.0;
+    double false_positive_rate = 0.0;
+  };
+
+  struct Hit {
+    std::vector<PairTask> tasks;
+    double published_at_hours = 0.0;
+    int assignments_started = 0;
+    int assignments_done = 0;
+    std::vector<int> matching_votes;       // per task
+    std::unordered_set<int> workers_used;  // AMT: distinct workers per HIT
+  };
+
+  struct AssignmentEvent {
+    double completes_at_hours = 0.0;
+    int worker = 0;
+    int64_t hit_id = 0;
+    // Min-heap on completion time.
+    bool operator>(const AssignmentEvent& other) const {
+      return completes_at_hours > other.completes_at_hours;
+    }
+  };
+
+  void BuildWorkerPool();
+  // Starts every assignment that an idle worker can pick up right now.
+  void ScheduleAssignments();
+  // Applies one finished assignment; returns the hit id if the HIT is done.
+  std::optional<int64_t> CompleteAssignment(const AssignmentEvent& event);
+
+  CrowdConfig config_;
+  const GroundTruthOracle* truth_;
+  Rng rng_;
+  std::vector<Worker> workers_;
+  std::vector<Hit> hits_;
+  std::priority_queue<AssignmentEvent, std::vector<AssignmentEvent>,
+                      std::greater<AssignmentEvent>>
+      events_;
+  double now_hours_ = 0.0;
+  size_t first_open_hit_ = 0;  // all earlier HITs have all assignments started
+  int64_t num_hits_completed_ = 0;
+  int64_t num_assignments_completed_ = 0;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CROWD_PLATFORM_H_

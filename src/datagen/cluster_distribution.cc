@@ -1,0 +1,72 @@
+#include "datagen/cluster_distribution.h"
+
+#include <algorithm>
+
+namespace crowdjoin {
+
+Result<std::vector<int32_t>> SamplePowerLawClusterSizes(
+    const PowerLawClusterConfig& config, Rng& rng) {
+  if (config.total_records <= 0) {
+    return Status::InvalidArgument("total_records must be positive");
+  }
+  if (config.max_cluster_size < 1 ||
+      config.max_cluster_size > config.total_records) {
+    return Status::InvalidArgument(
+        "max_cluster_size must be in [1, total_records]");
+  }
+  std::vector<int32_t> sizes;
+  int32_t remaining = config.total_records;
+  if (config.force_max_cluster) {
+    sizes.push_back(config.max_cluster_size);
+    remaining -= config.max_cluster_size;
+  }
+  const ZipfSampler sampler(static_cast<uint64_t>(config.max_cluster_size),
+                            config.alpha);
+  while (remaining > 0) {
+    int32_t size = static_cast<int32_t>(sampler.Sample(rng));
+    size = std::min(size, remaining);
+    sizes.push_back(size);
+    remaining -= size;
+  }
+  return sizes;
+}
+
+Result<std::vector<int32_t>> SampleSmallClusterSizes(
+    const SmallClusterConfig& config, Rng& rng) {
+  if (config.total_records <= 0) {
+    return Status::InvalidArgument("total_records must be positive");
+  }
+  if (config.size_weights.empty()) {
+    return Status::InvalidArgument("size_weights must be non-empty");
+  }
+  double total_weight = 0.0;
+  for (double w : config.size_weights) {
+    if (w < 0.0) return Status::InvalidArgument("negative size weight");
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    return Status::InvalidArgument("size weights sum to zero");
+  }
+  std::vector<double> cdf(config.size_weights.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < cdf.size(); ++i) {
+    acc += config.size_weights[i] / total_weight;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+
+  std::vector<int32_t> sizes;
+  int32_t remaining = config.total_records;
+  while (remaining > 0) {
+    const double u = rng.UniformDouble();
+    const size_t bucket = static_cast<size_t>(
+        std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+    int32_t size = static_cast<int32_t>(bucket) + 1;
+    size = std::min(size, remaining);
+    sizes.push_back(size);
+    remaining -= size;
+  }
+  return sizes;
+}
+
+}  // namespace crowdjoin

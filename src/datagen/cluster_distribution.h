@@ -1,0 +1,43 @@
+#ifndef CROWDJOIN_DATAGEN_CLUSTER_DISTRIBUTION_H_
+#define CROWDJOIN_DATAGEN_CLUSTER_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace crowdjoin {
+
+/// Parameters for the heavy-tailed (Cora-like) cluster-size distribution.
+struct PowerLawClusterConfig {
+  int32_t total_records = 997;
+  /// Zipf exponent over sizes [1, max_cluster_size]; ~1.2 reproduces the
+  /// Figure 10(a) shape (mean cluster size ~ 10, a handful of very large
+  /// clusters, many small ones).
+  double alpha = 1.2;
+  int32_t max_cluster_size = 102;
+  /// Force one cluster of exactly `max_cluster_size` records, mirroring the
+  /// 102-record cluster the paper calls out on the Paper dataset.
+  bool force_max_cluster = true;
+};
+
+/// Samples cluster sizes summing exactly to `config.total_records`.
+Result<std::vector<int32_t>> SamplePowerLawClusterSizes(
+    const PowerLawClusterConfig& config, Rng& rng);
+
+/// Parameters for the near-1-to-1 (Abt-Buy-like) distribution: sizes 1..6
+/// with steeply decreasing frequencies (Figure 10(b)).
+struct SmallClusterConfig {
+  int32_t total_records = 2173;
+  /// P(cluster size = k) for k = 1..weights.size(); normalized internally.
+  std::vector<double> size_weights = {0.46, 0.44, 0.07, 0.02, 0.007, 0.003};
+};
+
+/// Samples cluster sizes summing exactly to `config.total_records`.
+Result<std::vector<int32_t>> SampleSmallClusterSizes(
+    const SmallClusterConfig& config, Rng& rng);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_CLUSTER_DISTRIBUTION_H_

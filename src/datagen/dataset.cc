@@ -1,0 +1,51 @@
+#include "datagen/dataset.h"
+
+#include <unordered_map>
+
+namespace crowdjoin {
+
+std::map<int32_t, int64_t> ClusterSizeHistogram(const Dataset& dataset) {
+  std::unordered_map<int32_t, int32_t> cluster_size;
+  for (int32_t entity : dataset.entity_of) ++cluster_size[entity];
+  std::map<int32_t, int64_t> histogram;
+  for (const auto& [entity, size] : cluster_size) ++histogram[size];
+  return histogram;
+}
+
+int64_t NumTrueMatchingPairs(const Dataset& dataset) {
+  if (!dataset.bipartite) {
+    std::unordered_map<int32_t, int64_t> cluster_size;
+    for (int32_t entity : dataset.entity_of) ++cluster_size[entity];
+    int64_t pairs = 0;
+    for (const auto& [entity, k] : cluster_size) pairs += k * (k - 1) / 2;
+    return pairs;
+  }
+  // Bipartite: per entity, (#side-0 records) * (#side-1 records).
+  std::unordered_map<int32_t, std::pair<int64_t, int64_t>> sides;
+  for (size_t i = 0; i < dataset.entity_of.size(); ++i) {
+    auto& [left, right] = sides[dataset.entity_of[i]];
+    if (dataset.side_of[i] == 0) {
+      ++left;
+    } else {
+      ++right;
+    }
+  }
+  int64_t pairs = 0;
+  for (const auto& [entity, counts] : sides) {
+    pairs += counts.first * counts.second;
+  }
+  return pairs;
+}
+
+int64_t NumEligiblePairs(const Dataset& dataset) {
+  const int64_t n = static_cast<int64_t>(dataset.records.size());
+  if (!dataset.bipartite) return n * (n - 1) / 2;
+  const int64_t left = dataset.SideCount(0);
+  return left * (n - left);
+}
+
+GroundTruthOracle MakeGroundTruthOracle(const Dataset& dataset) {
+  return GroundTruthOracle(dataset.entity_of);
+}
+
+}  // namespace crowdjoin

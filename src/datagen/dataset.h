@@ -1,0 +1,52 @@
+#ifndef CROWDJOIN_DATAGEN_DATASET_H_
+#define CROWDJOIN_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/oracle.h"
+#include "text/record.h"
+
+namespace crowdjoin {
+
+/// \brief A generated entity-resolution dataset: records plus ground truth.
+///
+/// Records carry dense ids `[0, records.size())`. `entity_of[i]` is the
+/// true entity of record i; two records match iff their entities coincide.
+/// Bipartite datasets (the Product setting) additionally assign each record
+/// to side 0 or 1, and only cross-side pairs are join candidates.
+struct Dataset {
+  std::string name;
+  Schema schema;
+  RecordSet records;
+  std::vector<int32_t> entity_of;
+  bool bipartite = false;
+  std::vector<uint8_t> side_of;  ///< empty unless bipartite
+
+  /// Number of records on the given side (bipartite only).
+  int64_t SideCount(uint8_t side) const {
+    int64_t count = 0;
+    for (uint8_t s : side_of) count += (s == side) ? 1 : 0;
+    return count;
+  }
+};
+
+/// Cluster size -> number of ground-truth clusters of that size
+/// (the Figure 10 distribution).
+std::map<int32_t, int64_t> ClusterSizeHistogram(const Dataset& dataset);
+
+/// Number of truly matching candidate-eligible pairs: C(k,2) per cluster
+/// for self-join datasets; cross-side pairs only for bipartite ones.
+int64_t NumTrueMatchingPairs(const Dataset& dataset);
+
+/// Total candidate-eligible pairs: C(n,2) (self-join) or |A|*|B| (bipartite).
+int64_t NumEligiblePairs(const Dataset& dataset);
+
+/// Builds the always-correct oracle for this dataset's ground truth.
+GroundTruthOracle MakeGroundTruthOracle(const Dataset& dataset);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_DATASET_H_

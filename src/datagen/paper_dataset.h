@@ -1,0 +1,41 @@
+#ifndef CROWDJOIN_DATAGEN_PAPER_DATASET_H_
+#define CROWDJOIN_DATAGEN_PAPER_DATASET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/cluster_distribution.h"
+#include "datagen/dataset.h"
+#include "datagen/perturb.h"
+#include "text/record_similarity.h"
+
+namespace crowdjoin {
+
+/// Configuration of the Cora-like publication dataset ("Paper" in the
+/// paper's evaluation): 997 records with five attributes (Author, Title,
+/// Venue, Date, Pages) and a heavy-tailed cluster-size distribution
+/// (Figure 10(a)).
+struct PaperDatasetConfig {
+  PowerLawClusterConfig clusters;
+  CorruptionConfig corruption;
+  double author_initial_prob = 0.4;   ///< "john smith" -> "j smith"
+  double author_drop_prob = 0.15;     ///< drop one co-author
+  double venue_abbrev_prob = 0.5;     ///< full venue name <-> abbreviation
+  double year_missing_prob = 0.10;
+  double year_off_by_one_prob = 0.05;
+  double pages_missing_prob = 0.30;
+  uint64_t seed = 42;
+};
+
+/// Generates the Paper dataset: duplicate publication records with
+/// realistic citation-style noise.
+Result<Dataset> GeneratePaperDataset(const PaperDatasetConfig& config);
+
+/// The record scorer used as the "machine-based method" for Paper records:
+/// weighted blend of author/title/venue token similarity, year proximity
+/// and page-string similarity.
+RecordScorer MakePaperScorer();
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_PAPER_DATASET_H_

@@ -1,0 +1,69 @@
+#include "datagen/perturb.h"
+
+#include "common/string_util.h"
+
+namespace crowdjoin {
+
+namespace {
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz";
+}  // namespace
+
+std::string Corruptor::Typo(const std::string& word) {
+  if (word.size() < 2) return word;
+  std::string out = word;
+  const size_t pos = rng_->Index(out.size());
+  switch (rng_->UniformUint64(4)) {
+    case 0:  // substitute
+      out[pos] = kAlphabet[rng_->Index(26)];
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, kAlphabet[rng_->Index(26)]);
+      break;
+    case 3:  // transpose with next char
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string Corruptor::CorruptText(const std::string& text) {
+  std::vector<std::string> words = SplitWhitespace(text);
+  std::vector<std::string> out;
+  out.reserve(words.size() + 1);
+  for (size_t i = 0; i < words.size(); ++i) {
+    std::string word = words[i];
+    if (rng_->Bernoulli(config_.drop_word) && words.size() > 1) continue;
+    if (rng_->Bernoulli(config_.typo_per_word)) word = Typo(word);
+    if (rng_->Bernoulli(config_.truncate_word) && word.size() > 4) {
+      word = word.substr(0, 3 + rng_->Index(word.size() - 3));
+    }
+    out.push_back(word);
+    if (rng_->Bernoulli(config_.duplicate_word)) out.push_back(word);
+  }
+  for (size_t i = 0; i + 1 < out.size(); ++i) {
+    if (rng_->Bernoulli(config_.swap_adjacent)) std::swap(out[i], out[i + 1]);
+  }
+  if (out.empty() && !words.empty()) out.push_back(words[0]);
+  return Join(out, " ");
+}
+
+std::string Corruptor::InitialForm(const std::string& full_name) {
+  const std::vector<std::string> parts = SplitWhitespace(full_name);
+  if (parts.size() < 2) return full_name;
+  std::string out;
+  out += parts[0][0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out += ' ';
+    out += parts[i];
+  }
+  return out;
+}
+
+double Corruptor::JitterNumber(double value, double jitter) {
+  return value * rng_->UniformDouble(1.0 - jitter, 1.0 + jitter);
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,52 @@
+#ifndef CROWDJOIN_DATAGEN_PERTURB_H_
+#define CROWDJOIN_DATAGEN_PERTURB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdjoin {
+
+/// Per-operation probabilities for text corruption.
+struct CorruptionConfig {
+  double typo_per_word = 0.08;      ///< chance a word receives one edit op
+  double drop_word = 0.06;          ///< chance a word is dropped
+  double duplicate_word = 0.01;     ///< chance a word is duplicated
+  double swap_adjacent = 0.04;      ///< chance a word swaps with its right neighbor
+  double truncate_word = 0.05;      ///< chance a word is cut to a prefix
+};
+
+/// \brief Injects realistic dirtiness into generated records, standing in
+/// for the OCR noise, formatting drift and human entry errors that make
+/// Cora / Abt-Buy require entity resolution in the first place.
+///
+/// All randomness comes from the provided `Rng`, so corruption is
+/// deterministic per seed.
+class Corruptor {
+ public:
+  Corruptor(CorruptionConfig config, Rng* rng)
+      : config_(config), rng_(rng) {}
+
+  /// Applies one random character edit (substitute/delete/insert/transpose)
+  /// to `word` (unchanged when shorter than 2 characters).
+  std::string Typo(const std::string& word);
+
+  /// Applies word-level corruption (typos, drops, duplications, swaps,
+  /// truncations) to whitespace-separated text.
+  std::string CorruptText(const std::string& text);
+
+  /// Abbreviates "first last" to "f last" (initial form).
+  std::string InitialForm(const std::string& full_name);
+
+  /// Multiplies a positive value by a factor in [1-jitter, 1+jitter].
+  double JitterNumber(double value, double jitter);
+
+ private:
+  CorruptionConfig config_;
+  Rng* rng_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_PERTURB_H_

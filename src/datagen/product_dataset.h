@@ -1,0 +1,39 @@
+#ifndef CROWDJOIN_DATAGEN_PRODUCT_DATASET_H_
+#define CROWDJOIN_DATAGEN_PRODUCT_DATASET_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "datagen/cluster_distribution.h"
+#include "datagen/dataset.h"
+#include "datagen/perturb.h"
+#include "text/record_similarity.h"
+
+namespace crowdjoin {
+
+/// Configuration of the Abt-Buy-like bipartite product dataset ("Product"
+/// in the paper's evaluation): two retailer catalogs with name and price
+/// attributes, near-1-to-1 matching, cluster sizes 1-6 (Figure 10(b)).
+struct ProductDatasetConfig {
+  SmallClusterConfig clusters;
+  CorruptionConfig corruption;
+  double drop_model_prob = 0.12;      ///< listing omits the model code
+  double reformat_model_prob = 0.40;  ///< "kx-200" -> "kx200" style drift
+  double price_jitter = 0.06;         ///< relative price difference
+  double price_missing_prob = 0.08;
+  uint64_t seed = 43;
+};
+
+/// Generates the Product dataset: two catalogs of product listings with
+/// retailer-specific formatting conventions. Only cross-side pairs are
+/// join candidates (the paper's 1081 x 1092 setting).
+Result<Dataset> GenerateProductDataset(const ProductDatasetConfig& config);
+
+/// The record scorer for Product listings: TF-IDF name cosine (rare model
+/// codes weigh heavily) blended with q-gram overlap and price proximity.
+/// Callers must run `FitTfIdf` over the dataset's records before scoring.
+RecordScorer MakeProductScorer();
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_PRODUCT_DATASET_H_

@@ -1,0 +1,180 @@
+#include "datagen/wordlists.h"
+
+namespace crowdjoin {
+namespace wordlists {
+
+const std::vector<std::string_view>& TitleWords() {
+  static const std::vector<std::string_view> kWords = {
+      "learning",     "data",        "efficient",   "query",
+      "processing",   "distributed", "systems",     "approach",
+      "analysis",     "models",      "networks",    "algorithms",
+      "optimization", "mining",      "databases",   "scalable",
+      "parallel",     "adaptive",    "evaluation",  "framework",
+      "clustering",   "integration", "management",  "knowledge",
+      "discovery",    "indexing",    "retrieval",   "information",
+      "semantic",     "schema",      "matching",    "entity",
+      "resolution",   "records",     "linkage",     "duplicate",
+      "detection",    "streams",     "temporal",    "spatial",
+      "probabilistic","graphical",   "inference",   "estimation",
+      "sampling",     "approximate", "aggregation", "joins",
+      "selectivity",  "cardinality", "cost",        "transactions",
+      "concurrency",  "recovery",    "logging",     "storage",
+      "memory",       "cache",       "buffer",      "disk",
+      "partitioning", "replication", "consistency", "availability",
+      "fault",        "tolerant",    "consensus",   "coordination",
+      "scheduling",   "workload",    "performance", "benchmark",
+      "tuning",       "monitoring",  "profiling",   "visualization",
+      "interactive",  "exploration", "crowdsourcing","human",
+      "computation",  "hybrid",      "machine",     "classification",
+      "regression",   "ranking",     "recommendation","filtering",
+      "collaborative","feedback",    "active",      "online",
+      "incremental",  "dynamic",     "static",      "hierarchical",
+      "structured",   "unstructured","relational",  "graph",
+      "tree",         "sequence",    "pattern",     "rules",
+      "association",  "frequent",    "itemsets",    "dimensionality",
+      "reduction",    "feature",     "selection",   "extraction",
+      "transformation","normalization","cleaning",  "quality",
+      "provenance",   "lineage",     "metadata",    "catalog",
+      "warehouse",    "olap",        "cube",        "materialized",
+      "views",        "rewriting",   "planning",    "execution",
+      "compilation",  "vectorized",  "compression", "encoding",
+      "sketches",     "histograms",  "wavelets",    "summaries",
+      "privacy",      "security",    "anonymization","encryption",
+      "federated",    "cloud",       "elastic",     "serverless",
+      "transactional","analytical",  "workflows",   "pipelines",
+      "provisioning", "virtualization","containers", "kernels",
+      "support",      "vector",      "machines",    "neural",
+      "deep",         "reinforcement","supervised", "unsupervised",
+      "generative",   "discriminative","bayesian",  "markov",
+      "random",       "fields",      "chains",      "montecarlo",
+      "gradient",     "descent",     "convex",      "robust",
+  };
+  return kWords;
+}
+
+const std::vector<std::string_view>& FirstNames() {
+  static const std::vector<std::string_view> kNames = {
+      "james",   "mary",    "john",    "patricia", "robert",  "jennifer",
+      "michael", "linda",   "william", "elizabeth","david",   "barbara",
+      "richard", "susan",   "joseph",  "jessica",  "thomas",  "sarah",
+      "charles", "karen",   "wei",     "li",       "yan",     "jun",
+      "ming",    "hao",     "feng",    "lei",      "xin",     "yu",
+      "akira",   "yuki",    "hiroshi", "kenji",    "sanjay",  "rajesh",
+      "priya",   "amit",    "ravi",    "anand",    "pierre",  "marie",
+      "jean",    "claude",  "hans",    "klaus",    "ingrid",  "sven",
+      "carlos",  "maria",   "jose",    "ana",      "pavel",   "olga",
+      "ivan",    "natasha", "ahmed",   "fatima",   "omar",    "leila",
+  };
+  return kNames;
+}
+
+const std::vector<std::string_view>& LastNames() {
+  static const std::vector<std::string_view> kNames = {
+      "smith",    "johnson",  "williams", "brown",    "jones",
+      "garcia",   "miller",   "davis",    "rodriguez","martinez",
+      "hernandez","lopez",    "gonzalez", "wilson",   "anderson",
+      "thomas",   "taylor",   "moore",    "jackson",  "martin",
+      "lee",      "perez",    "thompson", "white",    "harris",
+      "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+      "walker",   "young",    "allen",    "king",     "wright",
+      "scott",    "torres",   "nguyen",   "hill",     "flores",
+      "green",    "adams",    "nelson",   "baker",    "hall",
+      "rivera",   "campbell", "mitchell", "carter",   "roberts",
+      "chen",     "wang",     "zhang",    "liu",      "yang",
+      "huang",    "zhao",     "wu",       "zhou",     "xu",
+      "sun",      "ma",       "zhu",      "hu",       "guo",
+      "tanaka",   "suzuki",   "watanabe", "yamamoto", "nakamura",
+      "kumar",    "sharma",   "patel",    "singh",    "gupta",
+      "mueller",  "schmidt",  "schneider","fischer",  "weber",
+  };
+  return kNames;
+}
+
+const std::vector<std::pair<std::string_view, std::string_view>>& Venues() {
+  static const std::vector<std::pair<std::string_view, std::string_view>>
+      kVenues = {
+          {"proceedings of the acm sigmod international conference on "
+           "management of data",
+           "sigmod"},
+          {"proceedings of the international conference on very large data "
+           "bases",
+           "vldb"},
+          {"proceedings of the ieee international conference on data "
+           "engineering",
+           "icde"},
+          {"proceedings of the acm sigkdd conference on knowledge discovery "
+           "and data mining",
+           "kdd"},
+          {"proceedings of the international conference on machine learning",
+           "icml"},
+          {"advances in neural information processing systems", "nips"},
+          {"proceedings of the national conference on artificial "
+           "intelligence",
+           "aaai"},
+          {"proceedings of the international joint conference on artificial "
+           "intelligence",
+           "ijcai"},
+          {"acm transactions on database systems", "tods"},
+          {"the vldb journal", "vldbj"},
+          {"ieee transactions on knowledge and data engineering", "tkde"},
+          {"machine learning journal", "mlj"},
+          {"journal of artificial intelligence research", "jair"},
+          {"proceedings of the conference on information and knowledge "
+           "management",
+           "cikm"},
+          {"proceedings of the symposium on principles of database systems",
+           "pods"},
+      };
+  return kVenues;
+}
+
+const std::vector<std::string_view>& Brands() {
+  static const std::vector<std::string_view> kBrands = {
+      "sony",      "panasonic", "samsung",  "toshiba",  "sharp",
+      "philips",   "pioneer",   "yamaha",   "denon",    "onkyo",
+      "bose",      "jbl",       "klipsch",  "polk",     "sennheiser",
+      "canon",     "nikon",     "olympus",  "fujifilm", "pentax",
+      "garmin",    "tomtom",    "magellan", "netgear",  "linksys",
+      "dlink",     "belkin",    "logitech", "kensington","targus",
+      "sandisk",   "kingston",  "lexar",    "seagate",  "maxtor",
+      "frigidaire","whirlpool", "maytag",   "kenmore",  "haier",
+      "delonghi",  "cuisinart", "krups",    "braun",    "oster",
+  };
+  return kBrands;
+}
+
+const std::vector<std::string_view>& ProductNouns() {
+  static const std::vector<std::string_view> kNouns = {
+      "television", "tv",        "monitor",   "speaker",   "subwoofer",
+      "receiver",   "amplifier", "headphones","earbuds",   "soundbar",
+      "camera",     "camcorder", "lens",      "flash",     "tripod",
+      "router",     "switch",    "adapter",   "modem",     "antenna",
+      "keyboard",   "mouse",     "webcam",    "microphone","headset",
+      "drive",      "card",      "reader",    "enclosure", "dock",
+      "refrigerator","freezer",  "dishwasher","microwave", "oven",
+      "range",      "washer",    "dryer",     "vacuum",    "purifier",
+      "coffeemaker","espresso",  "grinder",   "toaster",   "blender",
+      "player",     "recorder",  "turntable", "radio",     "clock",
+      "gps",        "navigator", "charger",   "battery",   "remote",
+      "cable",      "mount",     "stand",     "case",      "bag",
+  };
+  return kNouns;
+}
+
+const std::vector<std::string_view>& ProductAdjectives() {
+  static const std::vector<std::string_view> kAdjectives = {
+      "black",    "white",   "silver",   "stainless", "steel",
+      "portable", "wireless","bluetooth","digital",   "compact",
+      "widescreen","flat",   "curved",   "hd",        "1080p",
+      "720p",     "4k",      "lcd",      "led",       "plasma",
+      "inch",     "series",  "edition",  "pro",       "slim",
+      "mini",     "ultra",   "premium",  "home",      "theater",
+      "channel",  "watt",    "gb",       "tb",        "usb",
+      "hdmi",     "optical", "zoom",     "megapixel", "touchscreen",
+      "rechargeable","energy","efficient","countertop","builtin",
+  };
+  return kAdjectives;
+}
+
+}  // namespace wordlists
+}  // namespace crowdjoin

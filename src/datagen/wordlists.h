@@ -1,0 +1,41 @@
+#ifndef CROWDJOIN_DATAGEN_WORDLISTS_H_
+#define CROWDJOIN_DATAGEN_WORDLISTS_H_
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crowdjoin {
+
+/// Static word pools backing the synthetic dataset generators. The pools
+/// stand in for the vocabulary of the paper's Cora and Abt-Buy datasets
+/// (which are not redistributable here); sizes are chosen so that records
+/// of different entities still share common words, producing the graded
+/// likelihood distribution the threshold sweeps (Figures 11-12) need.
+namespace wordlists {
+
+/// Common research-title words (Zipf-weighted draws give shared vocabulary).
+const std::vector<std::string_view>& TitleWords();
+
+/// Author first names.
+const std::vector<std::string_view>& FirstNames();
+
+/// Author last names.
+const std::vector<std::string_view>& LastNames();
+
+/// (full venue name, abbreviation) pairs; records use either form.
+const std::vector<std::pair<std::string_view, std::string_view>>& Venues();
+
+/// Consumer-electronics brands.
+const std::vector<std::string_view>& Brands();
+
+/// Product category nouns.
+const std::vector<std::string_view>& ProductNouns();
+
+/// Product descriptive adjectives.
+const std::vector<std::string_view>& ProductAdjectives();
+
+}  // namespace wordlists
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_WORDLISTS_H_

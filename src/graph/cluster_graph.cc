@@ -1,0 +1,115 @@
+#include "graph/cluster_graph.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+ClusterGraph::ClusterGraph(int32_t num_objects, ConflictPolicy policy)
+    : union_find_(num_objects), policy_(policy) {}
+
+void ClusterGraph::Reset(int32_t num_objects) {
+  union_find_.Reset(num_objects);
+  edges_.clear();
+  num_edges_ = 0;
+  num_merges_ = 0;
+  conflicts_matching_ = 0;
+  conflicts_non_matching_ = 0;
+}
+
+Deduction ClusterGraph::Deduce(ObjectId a, ObjectId b) {
+  const int32_t ra = union_find_.Find(a);
+  const int32_t rb = union_find_.Find(b);
+  if (ra == rb) return Deduction::kMatching;
+  auto it = edges_.find(ra);
+  if (it != edges_.end() && it->second.contains(rb)) {
+    return Deduction::kNonMatching;
+  }
+  return Deduction::kUndeduced;
+}
+
+std::unordered_set<int32_t>& ClusterGraph::EdgesOf(int32_t root) {
+  return edges_[root];
+}
+
+int32_t ClusterGraph::MergeClusters(int32_t ra, int32_t rb) {
+  // Keep the root with the larger edge set so the smaller set is folded in
+  // (small-to-large); ties broken by cluster size via plain Union semantics.
+  auto it_a = edges_.find(ra);
+  auto it_b = edges_.find(rb);
+  const size_t deg_a = it_a == edges_.end() ? 0 : it_a->second.size();
+  const size_t deg_b = it_b == edges_.end() ? 0 : it_b->second.size();
+  int32_t winner = ra;
+  int32_t loser = rb;
+  if (deg_b > deg_a ||
+      (deg_b == deg_a &&
+       union_find_.SetSize(rb) > union_find_.SetSize(ra))) {
+    winner = rb;
+    loser = ra;
+  }
+  union_find_.UnionInto(winner, loser);
+  ++num_merges_;
+
+  auto it_loser = edges_.find(loser);
+  if (it_loser != edges_.end()) {
+    std::unordered_set<int32_t> folded = std::move(it_loser->second);
+    edges_.erase(it_loser);
+    auto& winner_edges = EdgesOf(winner);
+    for (int32_t neighbor : folded) {
+      auto& back = edges_[neighbor];
+      back.erase(loser);
+      // The caller guarantees no edge between winner and loser existed, but
+      // the same neighbor may be adjacent to both: the two parallel edges
+      // collapse into one.
+      if (winner_edges.insert(neighbor).second) {
+        back.insert(winner);
+      } else {
+        --num_edges_;  // collapsed a parallel edge
+      }
+    }
+    if (winner_edges.empty()) edges_.erase(winner);
+  }
+  return winner;
+}
+
+AddOutcome ClusterGraph::Add(ObjectId a, ObjectId b, Label label) {
+  CJ_CHECK(a != b);
+  const int32_t ra = union_find_.Find(a);
+  const int32_t rb = union_find_.Find(b);
+
+  if (label == Label::kMatching) {
+    if (ra == rb) return AddOutcome::kRedundant;
+    auto it = edges_.find(ra);
+    const bool edge_exists = it != edges_.end() && it->second.contains(rb);
+    if (edge_exists) {
+      ++conflicts_matching_;
+      if (policy_ == ConflictPolicy::kKeepFirst) return AddOutcome::kConflict;
+      // kTrustNew: drop the contradicting edge, then merge.
+      edges_[ra].erase(rb);
+      edges_[rb].erase(ra);
+      if (edges_[ra].empty()) edges_.erase(ra);
+      if (edges_[rb].empty()) edges_.erase(rb);
+      --num_edges_;
+      MergeClusters(ra, rb);
+      return AddOutcome::kConflict;
+    }
+    MergeClusters(ra, rb);
+    return AddOutcome::kApplied;
+  }
+
+  // Non-matching label.
+  if (ra == rb) {
+    // Contradiction: the two objects are already deduced matching. A merge
+    // cannot be undone, so both policies keep the cluster.
+    ++conflicts_non_matching_;
+    return AddOutcome::kConflict;
+  }
+  auto& ea = EdgesOf(ra);
+  if (!ea.insert(rb).second) return AddOutcome::kRedundant;
+  EdgesOf(rb).insert(ra);
+  ++num_edges_;
+  return AddOutcome::kApplied;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,113 @@
+#ifndef CROWDJOIN_GRAPH_CLUSTER_GRAPH_H_
+#define CROWDJOIN_GRAPH_CLUSTER_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/label.h"
+#include "graph/union_find.h"
+
+namespace crowdjoin {
+
+/// What happened when a labeled pair was inserted into the ClusterGraph.
+enum class AddOutcome : uint8_t {
+  kApplied = 0,    ///< the label added new information to the graph
+  kRedundant = 1,  ///< the label was already deducible (no-op)
+  kConflict = 2,   ///< the label contradicts the graph (policy applied)
+};
+
+/// How contradictory labels are handled (only relevant when crowd answers
+/// can be wrong; the paper's simulations assume correct answers).
+enum class ConflictPolicy : uint8_t {
+  /// Keep the deduction implied by earlier labels; drop the new label.
+  /// This matches the paper's labeling framework, which never crowdsources
+  /// a deducible pair and therefore always trusts what is already known.
+  kKeepFirst = 0,
+  /// For a matching label contradicting a non-matching cluster edge, drop
+  /// the edge and merge anyway. (A non-matching label inside one cluster is
+  /// still rejected: union-find merges cannot be undone.)
+  kTrustNew = 1,
+};
+
+/// \brief The ClusterGraph of Section 3.2 (Figures 5–6): union-find clusters
+/// of matching objects plus non-matching edges between clusters.
+///
+/// Supports the two operations the labeling framework needs, both in
+/// near-constant amortized time:
+///  * `Deduce(a, b)` — decide whether the pair's label follows from the
+///    labeled pairs via transitive relations (Algorithm 1, DeduceLabel);
+///  * `Add(a, b, label)` — insert a newly labeled pair.
+///
+/// Non-matching edges are stored per cluster root as hash sets of adjacent
+/// roots; when two clusters merge, the smaller edge set is folded into the
+/// larger one and reverse pointers are fixed up (small-to-large), so the
+/// total edge-merging work over a run is O(E log E).
+class ClusterGraph {
+ public:
+  /// Creates a graph over objects `[0, num_objects)` with no labeled pairs.
+  explicit ClusterGraph(int32_t num_objects = 0,
+                        ConflictPolicy policy = ConflictPolicy::kKeepFirst);
+
+  /// Clears all labels and re-creates `num_objects` singleton clusters.
+  void Reset(int32_t num_objects);
+
+  /// Decides the pair's label from the labeled pairs (Algorithm 1):
+  ///  * same cluster                        -> kMatching
+  ///  * different clusters w/ an edge       -> kNonMatching
+  ///  * different clusters w/o an edge      -> kUndeduced
+  Deduction Deduce(ObjectId a, ObjectId b);
+
+  /// Inserts a labeled pair. Matching labels merge clusters; non-matching
+  /// labels add a cluster edge. Returns what happened; conflicts are
+  /// counted and resolved per the configured policy.
+  AddOutcome Add(ObjectId a, ObjectId b, Label label);
+
+  /// Number of objects the graph was created over.
+  int32_t num_objects() const { return union_find_.size(); }
+
+  /// Current number of clusters (including singletons).
+  int32_t num_clusters() const { return union_find_.num_sets(); }
+
+  /// Current number of distinct non-matching cluster edges.
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Number of conflicting labels seen so far (both kinds).
+  int64_t num_conflicts() const {
+    return conflicts_matching_ + conflicts_non_matching_;
+  }
+  /// Conflicts where a matching label hit an existing non-matching edge.
+  int64_t conflicts_matching() const { return conflicts_matching_; }
+  /// Conflicts where a non-matching label landed inside one cluster.
+  int64_t conflicts_non_matching() const { return conflicts_non_matching_; }
+
+  /// Number of cluster merges performed.
+  int64_t num_merges() const { return num_merges_; }
+
+  /// The cluster representative of `x` (stable only until the next merge).
+  ObjectId ClusterOf(ObjectId x) { return union_find_.Find(x); }
+
+  /// Number of objects in `x`'s cluster.
+  int32_t ClusterSize(ObjectId x) { return union_find_.SetSize(x); }
+
+ private:
+  // Edge set of a root (creates it empty on first access).
+  std::unordered_set<int32_t>& EdgesOf(int32_t root);
+  // Merges the clusters rooted at ra and rb; returns the surviving root.
+  int32_t MergeClusters(int32_t ra, int32_t rb);
+
+  UnionFind union_find_;
+  ConflictPolicy policy_;
+  // Non-matching adjacency, keyed by cluster root. Only roots that have at
+  // least one incident edge appear. Sets store adjacent roots.
+  std::unordered_map<int32_t, std::unordered_set<int32_t>> edges_;
+  int64_t num_edges_ = 0;
+  int64_t num_merges_ = 0;
+  int64_t conflicts_matching_ = 0;
+  int64_t conflicts_non_matching_ = 0;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_GRAPH_CLUSTER_GRAPH_H_

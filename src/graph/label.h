@@ -1,0 +1,56 @@
+#ifndef CROWDJOIN_GRAPH_LABEL_H_
+#define CROWDJOIN_GRAPH_LABEL_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace crowdjoin {
+
+/// Identifier of an object (record) in the join input; dense in `[0, n)`.
+using ObjectId = int32_t;
+
+/// \brief The label of an object pair (Section 2.2).
+///
+/// `kMatching` means the two objects refer to the same real-world entity;
+/// `kNonMatching` means they refer to different entities.
+enum class Label : uint8_t {
+  kNonMatching = 0,
+  kMatching = 1,
+};
+
+/// \brief Result of attempting to deduce a pair's label from the labeled
+/// pairs via transitive relations (Lemma 1).
+enum class Deduction : uint8_t {
+  kUndeduced = 0,     ///< every path carries more than one non-matching pair
+  kNonMatching = 1,   ///< some path has exactly one non-matching pair
+  kMatching = 2,      ///< some path has only matching pairs
+};
+
+/// Human-readable name of a label.
+inline std::string_view LabelToString(Label label) {
+  return label == Label::kMatching ? "matching" : "non-matching";
+}
+
+/// Human-readable name of a deduction outcome.
+inline std::string_view DeductionToString(Deduction deduction) {
+  switch (deduction) {
+    case Deduction::kUndeduced:
+      return "undeduced";
+    case Deduction::kNonMatching:
+      return "non-matching";
+    case Deduction::kMatching:
+      return "matching";
+  }
+  return "?";
+}
+
+/// Converts a known (deduced) outcome into the equivalent label.
+/// Must not be called with `kUndeduced`.
+inline Label DeductionToLabel(Deduction deduction) {
+  return deduction == Deduction::kMatching ? Label::kMatching
+                                           : Label::kNonMatching;
+}
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_GRAPH_LABEL_H_

@@ -1,0 +1,54 @@
+#include "graph/reference_deducer.h"
+
+#include <array>
+#include <deque>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+ReferenceDeducer::ReferenceDeducer(int32_t num_objects)
+    : adjacency_(static_cast<size_t>(num_objects)) {}
+
+void ReferenceDeducer::Add(ObjectId a, ObjectId b, Label label) {
+  CJ_CHECK(a >= 0 && static_cast<size_t>(a) < adjacency_.size());
+  CJ_CHECK(b >= 0 && static_cast<size_t>(b) < adjacency_.size());
+  adjacency_[static_cast<size_t>(a)].push_back({b, label});
+  adjacency_[static_cast<size_t>(b)].push_back({a, label});
+}
+
+Deduction ReferenceDeducer::Deduce(ObjectId a, ObjectId b) const {
+  const size_t n = adjacency_.size();
+  // visited[v][k]: reached v using k non-matching edges (k in {0,1}).
+  std::vector<std::array<bool, 2>> visited(n, {false, false});
+  std::deque<std::pair<ObjectId, size_t>> queue;
+  visited[static_cast<size_t>(a)][0] = true;
+  queue.emplace_back(a, size_t{0});
+  bool non_matching_path = false;
+  while (!queue.empty()) {
+    auto [v, used] = queue.front();
+    queue.pop_front();
+    if (v == b) {
+      if (used == 0) return Deduction::kMatching;
+      non_matching_path = true;
+      continue;
+    }
+    for (const Edge& e : adjacency_[static_cast<size_t>(v)]) {
+      const size_t next_used =
+          used + (e.label == Label::kNonMatching ? 1u : 0u);
+      if (next_used > 1) continue;
+      if (visited[static_cast<size_t>(e.to)][next_used]) continue;
+      visited[static_cast<size_t>(e.to)][next_used] = true;
+      // Zero-cost edges go to the front so matching paths are found first.
+      if (next_used == used) {
+        queue.emplace_front(e.to, next_used);
+      } else {
+        queue.emplace_back(e.to, next_used);
+      }
+    }
+  }
+  return non_matching_path ? Deduction::kNonMatching : Deduction::kUndeduced;
+}
+
+}  // namespace crowdjoin

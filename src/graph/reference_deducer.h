@@ -1,0 +1,41 @@
+#ifndef CROWDJOIN_GRAPH_REFERENCE_DEDUCER_H_
+#define CROWDJOIN_GRAPH_REFERENCE_DEDUCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief Naive path-search deducer used as a correctness reference.
+///
+/// Decides deducibility straight from Lemma 1's conditions by breadth-first
+/// search over states `(object, #non-matching edges used ∈ {0, 1})`. This is
+/// the "enumerate paths" semantics that Section 3.2 argues the ClusterGraph
+/// replaces; it is exponential-free (BFS, O(V+E) per query) but far slower
+/// than the ClusterGraph for labeling workloads, which the
+/// `micro_clustergraph` benchmark quantifies.
+class ReferenceDeducer {
+ public:
+  /// Creates a deducer over objects `[0, num_objects)`.
+  explicit ReferenceDeducer(int32_t num_objects);
+
+  /// Inserts a labeled pair (no conflict checking: reference semantics only
+  /// make sense for consistent label sets).
+  void Add(ObjectId a, ObjectId b, Label label);
+
+  /// BFS over (object, used-nonmatching) states per Lemma 1.
+  Deduction Deduce(ObjectId a, ObjectId b) const;
+
+ private:
+  struct Edge {
+    ObjectId to;
+    Label label;
+  };
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_GRAPH_REFERENCE_DEDUCER_H_

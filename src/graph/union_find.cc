@@ -1,0 +1,57 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+UnionFind::UnionFind(int32_t n) { Reset(n); }
+
+void UnionFind::Reset(int32_t n) {
+  CJ_CHECK(n >= 0);
+  parent_.resize(static_cast<size_t>(n));
+  std::iota(parent_.begin(), parent_.end(), 0);
+  size_.assign(static_cast<size_t>(n), 1);
+  num_sets_ = n;
+}
+
+int32_t UnionFind::Find(int32_t x) {
+  CJ_CHECK(x >= 0 && x < size());
+  while (parent_[static_cast<size_t>(x)] != x) {
+    // Path halving: point x at its grandparent, then step there.
+    int32_t parent = parent_[static_cast<size_t>(x)];
+    int32_t grandparent = parent_[static_cast<size_t>(parent)];
+    parent_[static_cast<size_t>(x)] = grandparent;
+    x = grandparent;
+  }
+  return x;
+}
+
+int32_t UnionFind::Union(int32_t a, int32_t b) {
+  int32_t ra = Find(a);
+  int32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  UnionInto(ra, rb);
+  return ra;
+}
+
+void UnionFind::UnionInto(int32_t winner, int32_t loser) {
+  CJ_CHECK(winner != loser);
+  CJ_CHECK(parent_[static_cast<size_t>(winner)] == winner);
+  CJ_CHECK(parent_[static_cast<size_t>(loser)] == loser);
+  parent_[static_cast<size_t>(loser)] = winner;
+  size_[static_cast<size_t>(winner)] += size_[static_cast<size_t>(loser)];
+  --num_sets_;
+}
+
+bool UnionFind::Same(int32_t a, int32_t b) { return Find(a) == Find(b); }
+
+int32_t UnionFind::SetSize(int32_t x) {
+  return size_[static_cast<size_t>(Find(x))];
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,55 @@
+#ifndef CROWDJOIN_GRAPH_UNION_FIND_H_
+#define CROWDJOIN_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace crowdjoin {
+
+/// \brief Disjoint-set forest (Tarjan [20] in the paper) with path halving
+/// and union by size.
+///
+/// The ClusterGraph uses this to maintain clusters of matching objects.
+/// `UnionInto` additionally lets a caller dictate which root survives a
+/// merge — the ClusterGraph uses it to keep the root with the larger
+/// non-matching edge set alive (small-to-large edge merging).
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets with ids `[0, n)`.
+  explicit UnionFind(int32_t n = 0);
+
+  /// Discards all sets and re-creates `n` singletons.
+  void Reset(int32_t n);
+
+  /// Returns the representative of `x`'s set; compresses paths (halving).
+  int32_t Find(int32_t x);
+
+  /// Merges the sets of `a` and `b` by size. Returns the surviving root.
+  /// A no-op returning the common root when already joined.
+  int32_t Union(int32_t a, int32_t b);
+
+  /// Merges `loser`'s set into `winner`'s set, keeping `winner`'s root.
+  /// `winner` and `loser` must be roots of distinct sets.
+  void UnionInto(int32_t winner, int32_t loser);
+
+  /// True iff `a` and `b` are in the same set.
+  bool Same(int32_t a, int32_t b);
+
+  /// Number of elements in `x`'s set.
+  int32_t SetSize(int32_t x);
+
+  /// Current number of disjoint sets.
+  int32_t num_sets() const { return num_sets_; }
+
+  /// Total number of elements.
+  int32_t size() const { return static_cast<int32_t>(parent_.size()); }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> size_;
+  int32_t num_sets_ = 0;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_GRAPH_UNION_FIND_H_

@@ -1,0 +1,98 @@
+#include "simjoin/candidate_generator.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/macros.h"
+#include "common/rng.h"
+#include "simjoin/similarity_join.h"
+#include "simjoin/token_dictionary.h"
+#include "text/tokenize.h"
+
+namespace crowdjoin {
+
+namespace {
+
+double NoisyLikelihood(double similarity, double stddev, Rng& rng) {
+  if (stddev <= 0.0) return similarity;
+  return std::clamp(similarity + rng.Normal(0.0, stddev), 0.01, 0.99);
+}
+
+std::vector<std::string> RecordTokens(const Record& record) {
+  std::string all;
+  for (const auto& field : record.fields) {
+    all += field;
+    all += ' ';
+  }
+  return WordTokens(all);
+}
+
+}  // namespace
+
+Result<CandidateSet> GenerateCandidates(
+    const RecordSet& records, const std::vector<uint8_t>* side_of,
+    const RecordScorer& scorer, const CandidateGeneratorOptions& options) {
+  if (side_of != nullptr && side_of->size() != records.size()) {
+    return Status::InvalidArgument("side_of size does not match records");
+  }
+
+  TokenDictionary dictionary;
+  CandidateSet candidates;
+  Rng noise_rng(options.noise_seed);
+
+  if (side_of == nullptr) {
+    std::vector<std::vector<int32_t>> docs(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      docs[i] = dictionary.AddDocument(RecordTokens(records[i]));
+    }
+    CJ_ASSIGN_OR_RETURN(
+        const std::vector<ScoredPair> joined,
+        PrefixFilterSelfJoin(docs, dictionary, options.token_join_threshold));
+    candidates.reserve(joined.size());
+    for (const ScoredPair& pair : joined) {
+      const Record& ra = records[static_cast<size_t>(pair.left)];
+      const Record& rb = records[static_cast<size_t>(pair.right)];
+      CJ_ASSIGN_OR_RETURN(const double similarity, scorer.Score(ra, rb));
+      const double likelihood = NoisyLikelihood(
+          similarity, options.likelihood_noise_stddev, noise_rng);
+      if (likelihood >= options.min_likelihood) {
+        candidates.push_back({ra.id, rb.id, likelihood});
+      }
+    }
+    return candidates;
+  }
+
+  // Bipartite: split record indexes by side, join, map back.
+  std::vector<std::vector<int32_t>> left_docs;
+  std::vector<std::vector<int32_t>> right_docs;
+  std::vector<size_t> left_index;
+  std::vector<size_t> right_index;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::vector<std::string> tokens = RecordTokens(records[i]);
+    if ((*side_of)[i] == 0) {
+      left_docs.push_back(dictionary.AddDocument(tokens));
+      left_index.push_back(i);
+    } else {
+      right_docs.push_back(dictionary.AddDocument(tokens));
+      right_index.push_back(i);
+    }
+  }
+  CJ_ASSIGN_OR_RETURN(
+      const std::vector<ScoredPair> joined,
+      PrefixFilterBipartiteJoin(left_docs, right_docs, dictionary,
+                                options.token_join_threshold));
+  candidates.reserve(joined.size());
+  for (const ScoredPair& pair : joined) {
+    const Record& ra = records[left_index[static_cast<size_t>(pair.left)]];
+    const Record& rb = records[right_index[static_cast<size_t>(pair.right)]];
+    CJ_ASSIGN_OR_RETURN(const double similarity, scorer.Score(ra, rb));
+    const double likelihood = NoisyLikelihood(
+        similarity, options.likelihood_noise_stddev, noise_rng);
+    if (likelihood >= options.min_likelihood) {
+      candidates.push_back({ra.id, rb.id, likelihood});
+    }
+  }
+  return candidates;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,51 @@
+#ifndef CROWDJOIN_SIMJOIN_CANDIDATE_GENERATOR_H_
+#define CROWDJOIN_SIMJOIN_CANDIDATE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/candidate.h"
+#include "text/record.h"
+#include "text/record_similarity.h"
+
+namespace crowdjoin {
+
+/// Options for machine-based candidate generation (Section 2.3).
+struct CandidateGeneratorOptions {
+  /// Coarse token-Jaccard prune applied by the similarity join before the
+  /// full record scorer runs. Loose by design: the paper's machine step
+  /// "weeds out pairs that look very dissimilar" [25].
+  double token_join_threshold = 0.1;
+  /// Pairs whose blended record similarity (the matching likelihood) falls
+  /// below this are dropped from the candidate set.
+  double min_likelihood = 0.1;
+  /// Gaussian noise added to each likelihood (clamped to [0.01, 0.99])
+  /// before the `min_likelihood` cut. Models the miscalibration of real
+  /// machine-learned match scores [25]: with zero noise the likelihood
+  /// ranking separates matching from non-matching pairs almost perfectly
+  /// and the parallel labeler converges in one round, which real candidate
+  /// sets (Figures 13-14: ~14 rounds) do not.
+  double likelihood_noise_stddev = 0.0;
+  /// Seed for the likelihood noise stream.
+  uint64_t noise_seed = 1;
+};
+
+/// \brief The machine step of the hybrid workflow: generates the candidate
+/// set of matching pairs with likelihoods.
+///
+/// Every record's fields are concatenated and word-tokenized; a
+/// prefix-filter similarity join prunes the cross product; survivors are
+/// scored by `scorer` (call `scorer.FitTfIdf` first if it uses TF-IDF).
+///
+/// `side_of` selects the join shape: nullptr runs a self-join over
+/// `records`; otherwise `side_of[i]` in {0, 1} assigns each record to one
+/// collection and only cross-side pairs are produced (the Product dataset's
+/// 1081 x 1092 setting). Candidate pairs reference `Record::id`.
+Result<CandidateSet> GenerateCandidates(
+    const RecordSet& records, const std::vector<uint8_t>* side_of,
+    const RecordScorer& scorer, const CandidateGeneratorOptions& options);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_CANDIDATE_GENERATOR_H_

@@ -1,0 +1,53 @@
+#ifndef CROWDJOIN_SIMJOIN_SIMILARITY_JOIN_H_
+#define CROWDJOIN_SIMJOIN_SIMILARITY_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "simjoin/token_dictionary.h"
+
+namespace crowdjoin {
+
+/// One joined pair with its exact (token-set Jaccard) similarity.
+struct ScoredPair {
+  int32_t left = 0;   ///< index into the left/only document collection
+  int32_t right = 0;  ///< index into the right collection (self-join: left<right)
+  double score = 0.0;
+
+  friend bool operator==(const ScoredPair& x, const ScoredPair& y) {
+    return x.left == y.left && x.right == y.right && x.score == y.score;
+  }
+};
+
+/// \brief Set-similarity self-join: all pairs (i < j) of documents with
+/// Jaccard >= threshold.
+///
+/// `docs` are deduplicated token-id vectors sorted ascending by id.
+/// Implements prefix filtering over a rarity-ordered token order with a
+/// length filter, then verifies candidates exactly — the classic AllPairs
+/// scheme, which is the machine step's workhorse on larger inputs.
+/// `threshold` must be in (0, 1].
+Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
+    const std::vector<std::vector<int32_t>>& docs,
+    const TokenDictionary& dictionary, double threshold);
+
+/// \brief Bipartite variant: all pairs (r, s) across two collections with
+/// Jaccard >= threshold.
+Result<std::vector<ScoredPair>> PrefixFilterBipartiteJoin(
+    const std::vector<std::vector<int32_t>>& left,
+    const std::vector<std::vector<int32_t>>& right,
+    const TokenDictionary& dictionary, double threshold);
+
+/// Brute-force reference self-join (exact, O(n^2) verifications).
+std::vector<ScoredPair> BruteForceSelfJoin(
+    const std::vector<std::vector<int32_t>>& docs, double threshold);
+
+/// Brute-force reference bipartite join.
+std::vector<ScoredPair> BruteForceBipartiteJoin(
+    const std::vector<std::vector<int32_t>>& left,
+    const std::vector<std::vector<int32_t>>& right, double threshold);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_SIMILARITY_JOIN_H_

@@ -1,0 +1,42 @@
+#include "simjoin/token_dictionary.h"
+
+#include <algorithm>
+
+#include "text/tokenize.h"
+
+namespace crowdjoin {
+
+int32_t TokenDictionary::Intern(const std::string& token) {
+  auto [it, inserted] =
+      ids_.try_emplace(token, static_cast<int32_t>(frequency_.size()));
+  if (inserted) frequency_.push_back(0);
+  return it->second;
+}
+
+std::vector<int32_t> TokenDictionary::AddDocument(
+    const std::vector<std::string>& tokens) {
+  std::vector<int32_t> doc = Encode(tokens);
+  for (int32_t id : doc) ++frequency_[static_cast<size_t>(id)];
+  return doc;
+}
+
+std::vector<int32_t> TokenDictionary::Encode(
+    const std::vector<std::string>& tokens) {
+  std::vector<int32_t> doc;
+  doc.reserve(tokens.size());
+  for (const auto& token : tokens) doc.push_back(Intern(token));
+  std::sort(doc.begin(), doc.end());
+  doc.erase(std::unique(doc.begin(), doc.end()), doc.end());
+  return doc;
+}
+
+void TokenDictionary::SortByRarity(std::vector<int32_t>& doc) const {
+  std::sort(doc.begin(), doc.end(), [this](int32_t x, int32_t y) {
+    const int64_t fx = frequency_[static_cast<size_t>(x)];
+    const int64_t fy = frequency_[static_cast<size_t>(y)];
+    if (fx != fy) return fx < fy;
+    return x < y;
+  });
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,46 @@
+#ifndef CROWDJOIN_SIMJOIN_TOKEN_DICTIONARY_H_
+#define CROWDJOIN_SIMJOIN_TOKEN_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdjoin {
+
+/// \brief Interns tokens to dense ids and tracks document frequencies.
+///
+/// The prefix-filter join wants each document's tokens ordered by global
+/// rarity (rarest first), so that short prefixes prune aggressively;
+/// `SortByRarity` imposes that order using the accumulated frequencies.
+class TokenDictionary {
+ public:
+  /// Interns all tokens of `tokens` (set semantics: duplicates collapse)
+  /// and increments their document frequencies once per document.
+  /// Returns the document as a deduplicated token-id vector.
+  std::vector<int32_t> AddDocument(const std::vector<std::string>& tokens);
+
+  /// Interns without affecting document frequencies (for query-side docs).
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens);
+
+  /// Sorts `doc` by (frequency asc, id asc): rarest token first.
+  void SortByRarity(std::vector<int32_t>& doc) const;
+
+  /// Document frequency of a token id.
+  int64_t Frequency(int32_t token_id) const {
+    return frequency_[static_cast<size_t>(token_id)];
+  }
+
+  /// Number of distinct tokens interned.
+  size_t size() const { return frequency_.size(); }
+
+ private:
+  int32_t Intern(const std::string& token);
+
+  std::unordered_map<std::string, int32_t> ids_;
+  std::vector<int64_t> frequency_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_TOKEN_DICTIONARY_H_

@@ -1,0 +1,26 @@
+#ifndef CROWDJOIN_TEXT_EDIT_DISTANCE_H_
+#define CROWDJOIN_TEXT_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace crowdjoin {
+
+/// Levenshtein (unit-cost insert/delete/substitute) distance.
+/// O(|a| * |b|) time, O(min(|a|, |b|)) space.
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// 1 - distance / max(|a|, |b|); 1.0 for two empty strings.
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro–Winkler similarity: Jaro boosted by common prefix (length <= 4)
+/// with scale `prefix_scale` (standard 0.1; must be <= 0.25).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_EDIT_DISTANCE_H_

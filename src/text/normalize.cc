@@ -1,0 +1,29 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace crowdjoin {
+
+bool IsTokenChar(char c) {
+  const unsigned char uc = static_cast<unsigned char>(c);
+  return std::isalnum(uc) != 0;
+}
+
+std::string NormalizeText(std::string_view input) {
+  std::string out;
+  out.reserve(input.size());
+  bool pending_space = false;
+  for (char c : input) {
+    if (IsTokenChar(c)) {
+      if (pending_space && !out.empty()) out.push_back(' ');
+      pending_space = false;
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_space = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace crowdjoin

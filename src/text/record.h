@@ -1,0 +1,35 @@
+#ifndef CROWDJOIN_TEXT_RECORD_H_
+#define CROWDJOIN_TEXT_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief A flat, schema-positional record — the object granularity of the
+/// crowdsourced join (e.g. one publication entry or one product listing).
+struct Record {
+  ObjectId id = 0;
+  std::vector<std::string> fields;
+};
+
+/// Field names, positionally aligned with `Record::fields`.
+struct Schema {
+  std::vector<std::string> field_names;
+
+  /// Index of `name`, or -1 when absent.
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < field_names.size(); ++i) {
+      if (field_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+using RecordSet = std::vector<Record>;
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_RECORD_H_

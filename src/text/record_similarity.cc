@@ -1,0 +1,98 @@
+#include "text/record_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "text/normalize.h"
+#include "text/set_similarity.h"
+#include "text/tokenize.h"
+
+namespace crowdjoin {
+
+RecordScorer::RecordScorer(std::vector<FieldSimilaritySpec> specs)
+    : specs_(std::move(specs)), tfidf_models_(specs_.size()) {}
+
+void RecordScorer::FitTfIdf(const RecordSet& records) {
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s].measure != FieldMeasure::kTfIdfCosine) continue;
+    std::vector<std::vector<std::string>> docs;
+    docs.reserve(records.size());
+    for (const Record& r : records) {
+      const size_t f = static_cast<size_t>(specs_[s].field_index);
+      docs.push_back(f < r.fields.size() ? WordTokens(r.fields[f])
+                                         : std::vector<std::string>{});
+    }
+    tfidf_models_[s] = TfIdfModel::Fit(docs);
+  }
+}
+
+double ParseNumericField(const std::string& text) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) return std::nan("");
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end == trimmed.c_str()) return std::nan("");
+  return value;
+}
+
+double NumericProximity(double x, double y) {
+  if (std::isnan(x) || std::isnan(y)) return 0.0;
+  const double denom = std::max(std::abs(x), std::abs(y));
+  if (denom == 0.0) return 1.0;
+  return std::max(0.0, 1.0 - std::abs(x - y) / denom);
+}
+
+Result<double> RecordScorer::Score(const Record& a, const Record& b) const {
+  if (specs_.empty()) {
+    return Status::FailedPrecondition("RecordScorer has no field specs");
+  }
+  double total_weight = 0.0;
+  double weighted_sum = 0.0;
+  for (size_t s = 0; s < specs_.size(); ++s) {
+    const FieldSimilaritySpec& spec = specs_[s];
+    const size_t f = static_cast<size_t>(spec.field_index);
+    if (f >= a.fields.size() || f >= b.fields.size()) {
+      return Status::InvalidArgument(
+          StrFormat("field index %d out of range", spec.field_index));
+    }
+    const std::string& fa = a.fields[f];
+    const std::string& fb = b.fields[f];
+    if (fa.empty() && fb.empty()) continue;  // skip; renormalize below
+
+    double sim = 0.0;
+    switch (spec.measure) {
+      case FieldMeasure::kJaccardWords:
+        sim = JaccardOfTokenSets(WordTokens(fa), WordTokens(fb));
+        break;
+      case FieldMeasure::kQGramJaccard:
+        sim = JaccardOfTokenSets(QGrams(fa, spec.q), QGrams(fb, spec.q));
+        break;
+      case FieldMeasure::kLevenshtein:
+        sim = LevenshteinSimilarity(NormalizeText(fa), NormalizeText(fb));
+        break;
+      case FieldMeasure::kJaroWinkler:
+        sim = JaroWinklerSimilarity(NormalizeText(fa), NormalizeText(fb));
+        break;
+      case FieldMeasure::kTfIdfCosine: {
+        if (tfidf_models_[s].num_documents() == 0) {
+          return Status::FailedPrecondition(
+              "kTfIdfCosine requires FitTfIdf() before Score()");
+        }
+        sim = tfidf_models_[s].Cosine(WordTokens(fa), WordTokens(fb));
+        break;
+      }
+      case FieldMeasure::kNumeric:
+        sim = NumericProximity(ParseNumericField(fa), ParseNumericField(fb));
+        break;
+    }
+    weighted_sum += spec.weight * sim;
+    total_weight += spec.weight;
+  }
+  if (total_weight == 0.0) return 0.0;
+  return std::clamp(weighted_sum / total_weight, 0.0, 1.0);
+}
+
+}  // namespace crowdjoin

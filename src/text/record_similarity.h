@@ -1,0 +1,67 @@
+#ifndef CROWDJOIN_TEXT_RECORD_SIMILARITY_H_
+#define CROWDJOIN_TEXT_RECORD_SIMILARITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "text/record.h"
+#include "text/tfidf.h"
+
+namespace crowdjoin {
+
+/// Per-field similarity measures available to the record scorer.
+enum class FieldMeasure : uint8_t {
+  kJaccardWords = 0,   ///< Jaccard over normalized word-token sets
+  kQGramJaccard = 1,   ///< Jaccard over character q-gram sets
+  kLevenshtein = 2,    ///< normalized edit similarity on normalized text
+  kJaroWinkler = 3,    ///< Jaro–Winkler on normalized text
+  kTfIdfCosine = 4,    ///< TF-IDF-weighted token cosine (requires FitTfIdf)
+  kNumeric = 5,        ///< relative numeric proximity (prices, years)
+};
+
+/// One field's contribution to the record similarity.
+struct FieldSimilaritySpec {
+  int field_index = 0;
+  FieldMeasure measure = FieldMeasure::kJaccardWords;
+  double weight = 1.0;
+  int q = 3;  ///< gram size for kQGramJaccard
+};
+
+/// \brief Weighted multi-field record similarity — the "machine-based
+/// method" that assigns each candidate pair its matching likelihood
+/// (Section 2.3, following CrowdER's similarity workflow).
+///
+/// The score is the weight-normalized average of per-field similarities in
+/// [0, 1]. Fields that are empty on both records are skipped (their weight
+/// is excluded from normalization); an empty-vs-non-empty field scores 0.
+class RecordScorer {
+ public:
+  /// `specs` must reference valid field indexes of the records scored.
+  explicit RecordScorer(std::vector<FieldSimilaritySpec> specs);
+
+  /// Fits one TF-IDF model per kTfIdfCosine field over `records`.
+  /// Must be called before Score() if any spec uses kTfIdfCosine.
+  void FitTfIdf(const RecordSet& records);
+
+  /// Similarity of two records in [0, 1].
+  Result<double> Score(const Record& a, const Record& b) const;
+
+  const std::vector<FieldSimilaritySpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<FieldSimilaritySpec> specs_;
+  // Indexed like specs_; only kTfIdfCosine entries are fit.
+  std::vector<TfIdfModel> tfidf_models_;
+};
+
+/// Parses `text` as a double after trimming; NaN on failure.
+double ParseNumericField(const std::string& text);
+
+/// Relative numeric proximity: max(0, 1 - |x-y| / max(|x|,|y|)).
+/// Both zero -> 1.0; NaN inputs -> 0.0.
+double NumericProximity(double x, double y);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_RECORD_SIMILARITY_H_

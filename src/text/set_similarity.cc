@@ -1,0 +1,88 @@
+#include "text/set_similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenize.h"
+
+namespace crowdjoin {
+
+size_t OverlapSize(const std::vector<int32_t>& a,
+                   const std::vector<int32_t>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return overlap;
+}
+
+double JaccardSimilarity(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t overlap = OverlapSize(a, b);
+  const size_t unions = a.size() + b.size() - overlap;
+  return static_cast<double>(overlap) / static_cast<double>(unions);
+}
+
+double DiceSimilarity(const std::vector<int32_t>& a,
+                      const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const size_t overlap = OverlapSize(a, b);
+  return 2.0 * static_cast<double>(overlap) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double CosineSimilarity(const std::vector<int32_t>& a,
+                        const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t overlap = OverlapSize(a, b);
+  return static_cast<double>(overlap) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double OverlapCoefficient(const std::vector<int32_t>& a,
+                          const std::vector<int32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t overlap = OverlapSize(a, b);
+  return static_cast<double>(overlap) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double JaccardOfTokenSets(std::vector<std::string> a,
+                          std::vector<std::string> b) {
+  SortUnique(a);
+  SortUnique(b);
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t overlap = 0;
+  while (i < a.size() && j < b.size()) {
+    const int cmp = a[i].compare(b[j]);
+    if (cmp < 0) {
+      ++i;
+    } else if (cmp > 0) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  return static_cast<double>(overlap) /
+         static_cast<double>(a.size() + b.size() - overlap);
+}
+
+}  // namespace crowdjoin

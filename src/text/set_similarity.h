@@ -1,0 +1,38 @@
+#ifndef CROWDJOIN_TEXT_SET_SIMILARITY_H_
+#define CROWDJOIN_TEXT_SET_SIMILARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crowdjoin {
+
+/// Size of the intersection of two *sorted, deduplicated* id vectors.
+size_t OverlapSize(const std::vector<int32_t>& a,
+                   const std::vector<int32_t>& b);
+
+/// Jaccard similarity |A∩B| / |A∪B| of sorted, deduplicated id vectors.
+/// Two empty sets have similarity 1.
+double JaccardSimilarity(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b);
+
+/// Dice coefficient 2|A∩B| / (|A|+|B|).
+double DiceSimilarity(const std::vector<int32_t>& a,
+                      const std::vector<int32_t>& b);
+
+/// Set cosine |A∩B| / sqrt(|A||B|).
+double CosineSimilarity(const std::vector<int32_t>& a,
+                        const std::vector<int32_t>& b);
+
+/// Overlap coefficient |A∩B| / min(|A|, |B|).
+double OverlapCoefficient(const std::vector<int32_t>& a,
+                          const std::vector<int32_t>& b);
+
+/// Convenience: Jaccard over word-token *string* sets (sorts + dedups
+/// internally). Useful for tests and one-off scoring.
+double JaccardOfTokenSets(std::vector<std::string> a,
+                          std::vector<std::string> b);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_SET_SIMILARITY_H_

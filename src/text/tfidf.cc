@@ -1,0 +1,57 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace crowdjoin {
+
+TfIdfModel TfIdfModel::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  TfIdfModel model;
+  model.num_documents_ = documents.size();
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string> unique(doc.begin(), doc.end());
+    for (const auto& token : unique) ++model.document_frequency_[token];
+  }
+  return model;
+}
+
+double TfIdfModel::Idf(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  const double df = it == document_frequency_.end()
+                        ? 0.0
+                        : static_cast<double>(it->second);
+  return std::log(1.0 + static_cast<double>(num_documents_) / (1.0 + df));
+}
+
+double TfIdfModel::Cosine(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) const {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  std::unordered_map<std::string, double> weights_a;
+  for (const auto& t : a) weights_a[t] += 1.0;
+  std::unordered_map<std::string, double> weights_b;
+  for (const auto& t : b) weights_b[t] += 1.0;
+
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (auto& [token, tf] : weights_a) {
+    const double w = tf * Idf(token);
+    weights_a[token] = w;
+    norm_a += w * w;
+  }
+  for (auto& [token, tf] : weights_b) {
+    const double w = tf * Idf(token);
+    weights_b[token] = w;
+    norm_b += w * w;
+  }
+  for (const auto& [token, wa] : weights_a) {
+    auto it = weights_b.find(token);
+    if (it != weights_b.end()) dot += wa * it->second;
+  }
+  if (norm_a == 0.0 || norm_b == 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,39 @@
+#ifndef CROWDJOIN_TEXT_TFIDF_H_
+#define CROWDJOIN_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace crowdjoin {
+
+/// \brief TF-IDF weighting model fit over a corpus of token documents.
+///
+/// Used to weight rare, discriminative tokens (model codes, author names)
+/// higher than ubiquitous ones when scoring record similarity.
+class TfIdfModel {
+ public:
+  /// Fits document frequencies over `documents` (each a token list;
+  /// duplicate tokens within a document count once).
+  static TfIdfModel Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Smoothed inverse document frequency: log(1 + N / (1 + df(token))).
+  /// Unseen tokens get the maximum idf.
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF cosine similarity of two token lists (term frequency = count
+  /// within the list). Returns a value in [0, 1]; 1.0 for two empty lists.
+  double Cosine(const std::vector<std::string>& a,
+                const std::vector<std::string>& b) const;
+
+  /// Number of documents the model was fit on.
+  size_t num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, int64_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_TFIDF_H_

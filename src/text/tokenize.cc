@@ -1,0 +1,38 @@
+#include "text/tokenize.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "text/normalize.h"
+
+namespace crowdjoin {
+
+std::vector<std::string> WordTokens(std::string_view text) {
+  return SplitWhitespace(NormalizeText(text));
+}
+
+std::vector<std::string> QGrams(std::string_view text, int q) {
+  CJ_CHECK(q >= 1);
+  const std::string normalized = NormalizeText(text);
+  std::vector<std::string> grams;
+  if (normalized.empty()) return grams;
+  std::string padded;
+  padded.reserve(normalized.size() + 2 * static_cast<size_t>(q - 1));
+  padded.append(static_cast<size_t>(q - 1), '$');
+  padded += normalized;
+  padded.append(static_cast<size_t>(q - 1), '$');
+  const size_t count = padded.size() - static_cast<size_t>(q) + 1;
+  grams.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    grams.push_back(padded.substr(i, static_cast<size_t>(q)));
+  }
+  return grams;
+}
+
+void SortUnique(std::vector<std::string>& tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+}
+
+}  // namespace crowdjoin

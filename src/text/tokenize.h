@@ -1,0 +1,23 @@
+#ifndef CROWDJOIN_TEXT_TOKENIZE_H_
+#define CROWDJOIN_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crowdjoin {
+
+/// Normalizes `text` and splits it into word tokens.
+std::vector<std::string> WordTokens(std::string_view text);
+
+/// Character q-grams of the *normalized* text, with `q-1` boundary padding
+/// characters ('$') on each side so short strings still produce grams.
+/// Requires q >= 1. "ab" with q=2 yields {"$a", "ab", "b$"}.
+std::vector<std::string> QGrams(std::string_view text, int q);
+
+/// Sorts and deduplicates tokens in place (set semantics for similarity).
+void SortUnique(std::vector<std::string>& tokens);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_TEXT_TOKENIZE_H_

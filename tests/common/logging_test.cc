@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(Logging, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(Logging, SuppressedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  CJ_LOG(Debug) << "invisible " << 1;
+  CJ_LOG(Info) << "invisible " << 2.5;
+  CJ_LOG(Warning) << "invisible";
+  CJ_LOG(Error) << "invisible";
+  SetLogLevel(original);
+}
+
+TEST(Logging, EmittedLevelsDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  CJ_LOG(Debug) << "debug line from logging_test";
+  CJ_LOG(Error) << "error line from logging_test";
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,116 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/macros.h"
+#include "common/result.h"
+
+namespace crowdjoin {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.message(), "");
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("bad").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Inconsistent("x").code(), StatusCode::kInconsistent);
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(Status, ToStringFormatsCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("missing pair").ToString(),
+            "NOT_FOUND: missing pair");
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "INTERNAL: boom");
+}
+
+TEST(Status, CopyAndMovePreserveState) {
+  Status original = Status::OutOfRange("position 9");
+  Status copy = original;
+  EXPECT_EQ(copy, original);
+  Status moved = std::move(original);
+  EXPECT_EQ(moved.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(moved.message(), "position 9");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(Status::NotFound("nope"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  const std::string payload = std::move(result).value();
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> result(7);
+  EXPECT_EQ(result.value_or(-1), 7);
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int x) {
+  CJ_RETURN_IF_ERROR(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return 2 * x;
+}
+
+Result<int> ChainedAssign(int x) {
+  CJ_ASSIGN_OR_RETURN(const int doubled, DoubleIfPositive(x));
+  return doubled + 1;
+}
+
+TEST(Macros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Propagates(3).ok());
+  EXPECT_EQ(Propagates(-3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Macros, AssignOrReturnUnwrapsOrPropagates) {
+  EXPECT_EQ(ChainedAssign(5).value(), 11);
+  EXPECT_EQ(ChainedAssign(0).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,56 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, CollapsesRunsAndTrims) {
+  EXPECT_EQ(SplitWhitespace("  foo \t bar\nbaz  "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(Trim, RemovesOuterWhitespaceOnly) {
+  EXPECT_EQ(Trim("  inner text \t"), "inner text");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \n "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123 CaSe!"), "mixed 123 case!");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(StartsWith("crowdjoin", "crowd"));
+  EXPECT_FALSE(StartsWith("crowd", "crowdjoin"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("crowdjoin", "join"));
+  EXPECT_FALSE(EndsWith("join", "crowdjoin"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%d", 12, 34), "12-34");
+  EXPECT_EQ(StrFormat("%.2f%%", 99.555), "99.56%");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,53 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace crowdjoin {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "n"});
+  table.AddRow({"paper", "997"});
+  table.AddRow({"product", "2173"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string expected =
+      "| name    | n    |\n"
+      "|---------|------|\n"
+      "| paper   | 997  |\n"
+      "| product | 2173 |\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TablePrinter, HeaderOnlyTable) {
+  TablePrinter table({"a"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_EQ(os.str(), "| a |\n|---|\n");
+}
+
+TEST(CsvWriter, PlainCells) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCells) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteRow({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(os.str(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvWriter, EmptyRow) {
+  std::ostringstream os;
+  CsvWriter writer(os);
+  writer.WriteRow({});
+  EXPECT_EQ(os.str(), "\n");
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,126 @@
+#include "core/expected_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "core/labeling_order.h"
+#include "tests/core/test_fixtures.h"
+
+namespace crowdjoin {
+namespace {
+
+constexpr Label kM = Label::kMatching;
+constexpr Label kN = Label::kNonMatching;
+
+TEST(IsConsistentAssignment, TriangleCases) {
+  const CandidateSet triangle = {{0, 1, 0.5}, {1, 2, 0.5}, {0, 2, 0.5}};
+  EXPECT_TRUE(IsConsistentAssignment(triangle, {kM, kM, kM}));
+  EXPECT_TRUE(IsConsistentAssignment(triangle, {kM, kN, kN}));
+  EXPECT_TRUE(IsConsistentAssignment(triangle, {kN, kM, kN}));
+  EXPECT_TRUE(IsConsistentAssignment(triangle, {kN, kN, kM}));
+  EXPECT_TRUE(IsConsistentAssignment(triangle, {kN, kN, kN}));
+  // Exactly one non-matching edge inside a matched triangle is impossible.
+  EXPECT_FALSE(IsConsistentAssignment(triangle, {kM, kM, kN}));
+  EXPECT_FALSE(IsConsistentAssignment(triangle, {kM, kN, kM}));
+  EXPECT_FALSE(IsConsistentAssignment(triangle, {kN, kM, kM}));
+}
+
+TEST(IsConsistentAssignment, LongChainViolation) {
+  const CandidateSet chain = {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5},
+                              {0, 3, 0.5}};
+  EXPECT_TRUE(IsConsistentAssignment(chain, {kM, kM, kM, kM}));
+  EXPECT_FALSE(IsConsistentAssignment(chain, {kM, kM, kM, kN}));
+  EXPECT_TRUE(IsConsistentAssignment(chain, {kM, kN, kM, kN}));
+}
+
+TEST(CrowdsourcedCountUnderAssignment, IntroExample) {
+  // Section 3.1: w needs 2 crowdsourced pairs, w' needs 3.
+  const CandidateSet pairs = {{0, 1, 0.0}, {1, 2, 0.0}, {0, 2, 0.0}};
+  const std::vector<Label> labels = {kM, kN, kN};
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {0, 1, 2}, labels), 2);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {1, 2, 0}, labels), 3);
+}
+
+TEST(CrowdsourcedCountUnderAssignment, Section41Example) {
+  // Section 4.1: C(w1..w6) = 2,2,3,2,2,3 for p1=M, p2=N, p3=N.
+  const CandidateSet pairs = {{0, 1, 0.0}, {1, 2, 0.0}, {0, 2, 0.0}};
+  const std::vector<Label> labels = {kM, kN, kN};
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {0, 1, 2}, labels), 2);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {0, 2, 1}, labels), 2);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {1, 2, 0}, labels), 3);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {1, 0, 2}, labels), 2);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {2, 0, 1}, labels), 2);
+  EXPECT_EQ(CrowdsourcedCountUnderAssignment(pairs, {2, 1, 0}, labels), 3);
+}
+
+TEST(ExpectedCrowdsourcedCount, Example4ReproducesPaperNumbers) {
+  // Example 4: probabilities 0.9, 0.5, 0.1 on a triangle.
+  const CandidateSet pairs = {{0, 1, 0.9}, {1, 2, 0.5}, {0, 2, 0.1}};
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {0, 1, 2}).value(), 2.09,
+              0.005);
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {0, 2, 1}).value(), 2.17,
+              0.005);
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {1, 2, 0}).value(), 2.83,
+              0.005);
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {1, 0, 2}).value(), 2.09,
+              0.005);
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {2, 0, 1}).value(), 2.17,
+              0.005);
+  EXPECT_NEAR(ExpectedCrowdsourcedCount(pairs, {2, 1, 0}).value(), 2.83,
+              0.005);
+}
+
+TEST(ExpectedCrowdsourcedCount, DisconnectedPairsAlwaysCrowdsourced) {
+  const CandidateSet pairs = {{0, 1, 0.7}, {2, 3, 0.4}};
+  EXPECT_DOUBLE_EQ(ExpectedCrowdsourcedCount(pairs, {0, 1}).value(), 2.0);
+  EXPECT_DOUBLE_EQ(ExpectedCrowdsourcedCount(pairs, {1, 0}).value(), 2.0);
+}
+
+TEST(ExpectedCrowdsourcedCount, RejectsOversizedInputs) {
+  CandidateSet pairs;
+  for (int32_t i = 0; i < 21; ++i) pairs.push_back({i, i + 1, 0.5});
+  std::vector<int32_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int32_t>(i);
+  EXPECT_EQ(ExpectedCrowdsourcedCount(pairs, order).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FindExpectedOptimalOrder, TriangleOptimalMatchesExample4) {
+  const CandidateSet pairs = {{0, 1, 0.9}, {1, 2, 0.5}, {0, 2, 0.1}};
+  const ScoredOrder best = FindExpectedOptimalOrder(pairs).value();
+  EXPECT_NEAR(best.expected_cost, 2.09, 0.005);
+  // w1 = <p1,p2,p3> is lexicographically the first optimal order.
+  EXPECT_EQ(best.order, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(FindExpectedOptimalOrder, HeuristicNeverBeatsBruteForce) {
+  // On random instances the likelihood heuristic can't do better than the
+  // exhaustive optimum (sanity direction check).
+  for (uint64_t seed = 50; seed < 56; ++seed) {
+    Rng rng(seed);
+    CandidateSet pairs;
+    for (int32_t i = 0; i < 5; ++i) {
+      const auto a = static_cast<ObjectId>(rng.Index(4));
+      auto b = static_cast<ObjectId>(rng.Index(4));
+      if (a == b) b = static_cast<ObjectId>((b + 1) % 4);
+      pairs.push_back({std::min(a, b), std::max(a, b),
+                       0.05 + 0.9 * rng.UniformDouble()});
+    }
+    const std::vector<int32_t> heuristic =
+        MakeLabelingOrder(pairs, OrderKind::kExpected, nullptr, nullptr)
+            .value();
+    const double heuristic_cost =
+        ExpectedCrowdsourcedCount(pairs, heuristic).value();
+    const ScoredOrder best = FindExpectedOptimalOrder(pairs).value();
+    EXPECT_GE(heuristic_cost, best.expected_cost - 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(FindExpectedOptimalOrder, RejectsOversizedInputs) {
+  CandidateSet pairs;
+  for (int32_t i = 0; i < 9; ++i) pairs.push_back({i, i + 1, 0.5});
+  EXPECT_EQ(FindExpectedOptimalOrder(pairs).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,187 @@
+#include "core/instant_decision.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "core/parallel_labeler.h"
+#include "core/sequential_labeler.h"
+#include "graph/cluster_graph.h"
+#include "tests/core/test_fixtures.h"
+
+namespace crowdjoin {
+namespace {
+
+using testing_fixtures::Figure3Pairs;
+using testing_fixtures::Figure3Truth;
+using testing_fixtures::MakeRandomInstance;
+
+std::vector<int32_t> IdentityOrder(size_t n) {
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+TEST(InstantDecisionEngine, StartPublishesFirstBatch) {
+  const CandidateSet pairs = Figure3Pairs();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  const std::vector<int32_t> initial = engine.Start().value();
+  EXPECT_EQ(initial, (std::vector<int32_t>{0, 1, 2, 4, 5}));
+  EXPECT_EQ(engine.num_available(), 5);
+  EXPECT_EQ(engine.num_published(), 5);
+}
+
+TEST(InstantDecisionEngine, StartTwiceFails) {
+  const CandidateSet pairs = Figure3Pairs();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.Start().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InstantDecisionEngine, OnPairLabeledProtocolErrors) {
+  const CandidateSet pairs = Figure3Pairs();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  EXPECT_EQ(engine.OnPairLabeled(0, Label::kMatching).status().code(),
+            StatusCode::kFailedPrecondition);  // before Start
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.OnPairLabeled(99, Label::kMatching).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(engine.OnPairLabeled(3, Label::kMatching).status().code(),
+            StatusCode::kFailedPrecondition);  // p4 was never published
+  ASSERT_TRUE(engine.OnPairLabeled(0, Label::kMatching).ok());
+  EXPECT_EQ(engine.OnPairLabeled(0, Label::kMatching).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(InstantDecisionEngine, MatchingCompletionPublishesNothing) {
+  // Section 5.2 (non-matching first rationale): completing a matching pair
+  // never unlocks new publishable pairs.
+  const CandidateSet pairs = Figure3Pairs();
+  GroundTruthOracle truth = Figure3Truth();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  ASSERT_TRUE(engine.Start().ok());
+  const std::vector<int32_t> fresh =
+      engine.OnPairLabeled(0, Label::kMatching).value();
+  EXPECT_TRUE(fresh.empty());
+}
+
+TEST(InstantDecisionEngine, Figure3FifoReproducesExample5) {
+  const CandidateSet pairs = Figure3Pairs();
+  GroundTruthOracle truth = Figure3Truth();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  std::deque<int32_t> queue;
+  const std::vector<int32_t> initial = engine.Start().value();
+  queue.insert(queue.end(), initial.begin(), initial.end());
+  std::vector<int32_t> crowdsourced;
+  while (!queue.empty()) {
+    const int32_t pos = queue.front();
+    queue.pop_front();
+    crowdsourced.push_back(pos);
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const std::vector<int32_t> fresh =
+        engine.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)).value();
+    queue.insert(queue.end(), fresh.begin(), fresh.end());
+  }
+  // p1,p2,p3,p5,p6 first; p7 unlocked by p6's non-matching completion.
+  EXPECT_EQ(crowdsourced, (std::vector<int32_t>{0, 1, 2, 4, 5, 6}));
+
+  const LabelingResult result = engine.Finish().value();
+  EXPECT_EQ(result.num_crowdsourced, 6);
+  EXPECT_EQ(result.num_deduced, 2);
+  EXPECT_EQ(result.outcomes[3].label, Label::kMatching);      // p4
+  EXPECT_EQ(result.outcomes[7].label, Label::kNonMatching);   // p8
+}
+
+TEST(InstantDecisionEngine, FinishRequiresAllPublishedLabeled) {
+  const CandidateSet pairs = Figure3Pairs();
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  ASSERT_TRUE(engine.Start().ok());
+  EXPECT_EQ(engine.Finish().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(InstantDecisionEngine, FinishIsIdempotent) {
+  const CandidateSet pairs = {{0, 1, 0.9}, {1, 2, 0.8}, {0, 2, 0.7}};
+  GroundTruthOracle truth({0, 0, 0});
+  InstantDecisionEngine engine(&pairs, IdentityOrder(pairs.size()));
+  std::deque<int32_t> queue;
+  const std::vector<int32_t> initial = engine.Start().value();
+  queue.insert(queue.end(), initial.begin(), initial.end());
+  while (!queue.empty()) {
+    const int32_t pos = queue.front();
+    queue.pop_front();
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const std::vector<int32_t> fresh =
+        engine.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)).value();
+    queue.insert(queue.end(), fresh.begin(), fresh.end());
+  }
+  const LabelingResult first = engine.Finish().value();
+  const LabelingResult second = engine.Finish().value();
+  EXPECT_EQ(first.num_crowdsourced, second.num_crowdsourced);
+  EXPECT_EQ(first.num_deduced, second.num_deduced);
+  for (size_t i = 0; i < first.outcomes.size(); ++i) {
+    EXPECT_EQ(first.outcomes[i].label, second.outcomes[i].label);
+    EXPECT_EQ(first.outcomes[i].source, second.outcomes[i].source);
+  }
+}
+
+// Properties of the instant-decision engine under random completion
+// orders: (a) every pair the sequential labeler crowdsources is also
+// crowdsourced here; (b) the speculative overhead (pairs published before
+// enough non-matching labels arrived to deduce them - the price of
+// Algorithm 3's all-matching assumption) stays small; (c) with a correct
+// oracle, every final label matches the truth.
+class InstantDecisionPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InstantDecisionPropertyTest, BoundedOverheadAndCorrectLabels) {
+  const auto instance = MakeRandomInstance(GetParam(), 24, 5, 80);
+  GroundTruthOracle truth(instance.entity_of);
+  const std::vector<int32_t> order = IdentityOrder(instance.pairs.size());
+
+  GroundTruthOracle oracle_seq = truth;
+  const LabelingResult sequential =
+      SequentialLabeler().Run(instance.pairs, order, oracle_seq).value();
+
+  InstantDecisionEngine engine(&instance.pairs, order);
+  Rng rng(GetParam() ^ 0xc0ffee);
+  std::vector<int32_t> available = engine.Start().value();
+  while (!available.empty()) {
+    // Complete a random available pair (simulating AMT randomness).
+    const size_t pick = rng.Index(available.size());
+    const int32_t pos = available[pick];
+    available.erase(available.begin() + static_cast<std::ptrdiff_t>(pick));
+    const CandidatePair& pair = instance.pairs[static_cast<size_t>(pos)];
+    const std::vector<int32_t> fresh =
+        engine.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)).value();
+    available.insert(available.end(), fresh.begin(), fresh.end());
+  }
+  const LabelingResult result = engine.Finish().value();
+
+  for (size_t i = 0; i < instance.pairs.size(); ++i) {
+    EXPECT_EQ(result.outcomes[i].label,
+              truth.Truth(instance.pairs[i].a, instance.pairs[i].b))
+        << "seed=" << GetParam() << " pair=" << i;
+    if (sequential.outcomes[i].source == LabelSource::kCrowdsourced) {
+      EXPECT_EQ(result.outcomes[i].source, LabelSource::kCrowdsourced)
+          << "seed=" << GetParam() << " pair=" << i;
+    }
+  }
+  EXPECT_GE(result.num_crowdsourced, sequential.num_crowdsourced);
+  // Dense adversarial instances (many cross-entity pairs) show the largest
+  // speculation overhead; the paper-shaped workloads of the bench harnesses
+  // stay around 0.2%. A quarter of the sequential count is the sanity rail.
+  EXPECT_LE(result.num_crowdsourced,
+            sequential.num_crowdsourced +
+                std::max<int64_t>(5, sequential.num_crowdsourced / 4))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, InstantDecisionPropertyTest,
+                         ::testing::Range<uint64_t>(300, 312));
+
+}  // namespace
+}  // namespace crowdjoin

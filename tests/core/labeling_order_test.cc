@@ -1,0 +1,120 @@
+#include "core/labeling_order.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/core/test_fixtures.h"
+
+namespace crowdjoin {
+namespace {
+
+using testing_fixtures::Figure3Pairs;
+using testing_fixtures::Figure3Truth;
+
+bool IsPermutation(const std::vector<int32_t>& order, size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (int32_t pos : order) {
+    if (pos < 0 || static_cast<size_t>(pos) >= n) return false;
+    if (seen[static_cast<size_t>(pos)]) return false;
+    seen[static_cast<size_t>(pos)] = true;
+  }
+  return true;
+}
+
+TEST(LabelingOrder, ExpectedOrderSortsByLikelihoodDescending) {
+  const CandidateSet pairs = {{0, 1, 0.3}, {1, 2, 0.9}, {2, 3, 0.6}};
+  const std::vector<int32_t> order =
+      MakeLabelingOrder(pairs, OrderKind::kExpected, nullptr, nullptr)
+          .value();
+  EXPECT_EQ(order, (std::vector<int32_t>{1, 2, 0}));
+}
+
+TEST(LabelingOrder, ExpectedOrderTieBreaksByPosition) {
+  const CandidateSet pairs = {{0, 1, 0.5}, {1, 2, 0.5}, {2, 3, 0.5}};
+  const std::vector<int32_t> order =
+      MakeLabelingOrder(pairs, OrderKind::kExpected, nullptr, nullptr)
+          .value();
+  EXPECT_EQ(order, (std::vector<int32_t>{0, 1, 2}));
+}
+
+TEST(LabelingOrder, OptimalPutsMatchingFirst) {
+  const CandidateSet pairs = Figure3Pairs();
+  GroundTruthOracle truth = Figure3Truth();
+  const std::vector<int32_t> order =
+      MakeLabelingOrder(pairs, OrderKind::kOptimal, &truth, nullptr).value();
+  ASSERT_TRUE(IsPermutation(order, pairs.size()));
+  bool seen_non_matching = false;
+  for (int32_t pos : order) {
+    const auto& pair = pairs[static_cast<size_t>(pos)];
+    const bool matching = truth.Truth(pair.a, pair.b) == Label::kMatching;
+    if (!matching) seen_non_matching = true;
+    EXPECT_FALSE(matching && seen_non_matching)
+        << "matching pair after a non-matching pair at position " << pos;
+  }
+}
+
+TEST(LabelingOrder, WorstPutsNonMatchingFirst) {
+  const CandidateSet pairs = Figure3Pairs();
+  GroundTruthOracle truth = Figure3Truth();
+  const std::vector<int32_t> order =
+      MakeLabelingOrder(pairs, OrderKind::kWorst, &truth, nullptr).value();
+  ASSERT_TRUE(IsPermutation(order, pairs.size()));
+  bool seen_matching = false;
+  for (int32_t pos : order) {
+    const auto& pair = pairs[static_cast<size_t>(pos)];
+    const bool matching = truth.Truth(pair.a, pair.b) == Label::kMatching;
+    if (matching) seen_matching = true;
+    EXPECT_FALSE(!matching && seen_matching);
+  }
+}
+
+TEST(LabelingOrder, RandomOrderIsDeterministicPerSeed) {
+  const CandidateSet pairs = Figure3Pairs();
+  Rng rng1(99);
+  Rng rng2(99);
+  Rng rng3(100);
+  const auto order1 =
+      MakeLabelingOrder(pairs, OrderKind::kRandom, nullptr, &rng1).value();
+  const auto order2 =
+      MakeLabelingOrder(pairs, OrderKind::kRandom, nullptr, &rng2).value();
+  const auto order3 =
+      MakeLabelingOrder(pairs, OrderKind::kRandom, nullptr, &rng3).value();
+  EXPECT_EQ(order1, order2);
+  EXPECT_TRUE(IsPermutation(order1, pairs.size()));
+  EXPECT_TRUE(IsPermutation(order3, pairs.size()));
+  EXPECT_NE(order1, order3);  // overwhelmingly likely for 8! permutations
+}
+
+TEST(LabelingOrder, MissingInputsAreErrors) {
+  const CandidateSet pairs = Figure3Pairs();
+  EXPECT_EQ(MakeLabelingOrder(pairs, OrderKind::kOptimal, nullptr, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeLabelingOrder(pairs, OrderKind::kWorst, nullptr, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MakeLabelingOrder(pairs, OrderKind::kRandom, nullptr, nullptr)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LabelingOrder, EmptyCandidateSet) {
+  const auto order =
+      MakeLabelingOrder({}, OrderKind::kExpected, nullptr, nullptr).value();
+  EXPECT_TRUE(order.empty());
+}
+
+TEST(LabelingOrder, NamesAreStable) {
+  EXPECT_EQ(OrderKindToString(OrderKind::kOptimal), "Optimal Order");
+  EXPECT_EQ(OrderKindToString(OrderKind::kExpected), "Expected Order");
+  EXPECT_EQ(OrderKindToString(OrderKind::kRandom), "Random Order");
+  EXPECT_EQ(OrderKindToString(OrderKind::kWorst), "Worst Order");
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,120 @@
+// Property tests for the paper's order lemmas (Section 4.1):
+//  * Lemma 2: swapping an adjacent (non-matching, matching) pair to
+//    (matching, non-matching) never increases the crowdsourced count.
+//  * Lemma 3: swapping two adjacent same-label pairs never changes it.
+//  * Theorem 1: the matching-first order minimizes the crowdsourced count
+//    over sampled orders.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/expected_cost.h"
+#include "core/labeling_order.h"
+#include "tests/core/test_fixtures.h"
+
+namespace crowdjoin {
+namespace {
+
+using testing_fixtures::MakeRandomInstance;
+
+struct Instance {
+  CandidateSet pairs;
+  std::vector<Label> labels;
+};
+
+Instance MakeLabeledInstance(uint64_t seed) {
+  const auto raw = MakeRandomInstance(seed, /*num_objects=*/14,
+                                      /*num_entities=*/4, /*num_pairs=*/24);
+  Instance instance;
+  instance.pairs = raw.pairs;
+  GroundTruthOracle truth(raw.entity_of);
+  for (const auto& pair : raw.pairs) {
+    instance.labels.push_back(truth.Truth(pair.a, pair.b));
+  }
+  return instance;
+}
+
+class LemmaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LemmaPropertyTest, Lemma2SwapNonMatchingBeforeMatchingNeverHelps) {
+  const Instance instance = MakeLabeledInstance(GetParam());
+  Rng rng(GetParam() ^ 0x77);
+  std::vector<int32_t> order(instance.pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    const Label first =
+        instance.labels[static_cast<size_t>(order[i])];
+    const Label second =
+        instance.labels[static_cast<size_t>(order[i + 1])];
+    if (first != Label::kNonMatching || second != Label::kMatching) continue;
+    const int64_t before = CrowdsourcedCountUnderAssignment(
+        instance.pairs, order, instance.labels);
+    std::vector<int32_t> swapped = order;
+    std::swap(swapped[i], swapped[i + 1]);
+    const int64_t after = CrowdsourcedCountUnderAssignment(
+        instance.pairs, swapped, instance.labels);
+    EXPECT_LE(after, before)
+        << "seed=" << GetParam() << " swap at " << i;
+  }
+}
+
+TEST_P(LemmaPropertyTest, Lemma3SameLabelSwapKeepsCount) {
+  const Instance instance = MakeLabeledInstance(GetParam() ^ 0x1234);
+  Rng rng(GetParam() ^ 0x88);
+  std::vector<int32_t> order(instance.pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    const Label first =
+        instance.labels[static_cast<size_t>(order[i])];
+    const Label second =
+        instance.labels[static_cast<size_t>(order[i + 1])];
+    if (first != second) continue;
+    const int64_t before = CrowdsourcedCountUnderAssignment(
+        instance.pairs, order, instance.labels);
+    std::vector<int32_t> swapped = order;
+    std::swap(swapped[i], swapped[i + 1]);
+    const int64_t after = CrowdsourcedCountUnderAssignment(
+        instance.pairs, swapped, instance.labels);
+    EXPECT_EQ(after, before)
+        << "seed=" << GetParam() << " swap at " << i;
+  }
+}
+
+TEST_P(LemmaPropertyTest, Theorem1MatchingFirstIsNeverBeaten) {
+  const Instance instance = MakeLabeledInstance(GetParam() ^ 0x9999);
+  // Matching-first order.
+  std::vector<int32_t> optimal;
+  std::vector<int32_t> non_matching;
+  for (size_t i = 0; i < instance.pairs.size(); ++i) {
+    if (instance.labels[i] == Label::kMatching) {
+      optimal.push_back(static_cast<int32_t>(i));
+    } else {
+      non_matching.push_back(static_cast<int32_t>(i));
+    }
+  }
+  optimal.insert(optimal.end(), non_matching.begin(), non_matching.end());
+  const int64_t optimal_cost = CrowdsourcedCountUnderAssignment(
+      instance.pairs, optimal, instance.labels);
+
+  Rng rng(GetParam() ^ 0xaa);
+  std::vector<int32_t> sampled(instance.pairs.size());
+  std::iota(sampled.begin(), sampled.end(), 0);
+  for (int trial = 0; trial < 50; ++trial) {
+    rng.Shuffle(sampled);
+    const int64_t sampled_cost = CrowdsourcedCountUnderAssignment(
+        instance.pairs, sampled, instance.labels);
+    EXPECT_LE(optimal_cost, sampled_cost)
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LemmaPropertyTest,
+                         ::testing::Range<uint64_t>(400, 412));
+
+}  // namespace
+}  // namespace crowdjoin

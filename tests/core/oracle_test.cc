@@ -1,0 +1,66 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(GroundTruthOracle, MatchesEntityAssignment) {
+  GroundTruthOracle oracle({0, 0, 1, 1, 2});
+  EXPECT_EQ(oracle.GetLabel(0, 1), Label::kMatching);
+  EXPECT_EQ(oracle.GetLabel(0, 2), Label::kNonMatching);
+  EXPECT_EQ(oracle.GetLabel(2, 3), Label::kMatching);
+  EXPECT_EQ(oracle.GetLabel(4, 0), Label::kNonMatching);
+  EXPECT_EQ(oracle.num_queries(), 4);
+}
+
+TEST(GroundTruthOracle, TruthDoesNotCountQueries) {
+  GroundTruthOracle oracle({0, 0});
+  EXPECT_EQ(oracle.Truth(0, 1), Label::kMatching);
+  EXPECT_EQ(oracle.num_queries(), 0);
+}
+
+TEST(NoisyOracle, ZeroRatesAreExact) {
+  GroundTruthOracle truth({0, 0, 1});
+  NoisyOracle oracle(&truth, 0.0, 0.0, Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(oracle.GetLabel(0, 1), Label::kMatching);
+    EXPECT_EQ(oracle.GetLabel(0, 2), Label::kNonMatching);
+  }
+}
+
+TEST(NoisyOracle, FullRatesAlwaysFlip) {
+  GroundTruthOracle truth({0, 0, 1});
+  NoisyOracle oracle(&truth, 1.0, 1.0, Rng(2));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(oracle.GetLabel(0, 1), Label::kNonMatching);
+    EXPECT_EQ(oracle.GetLabel(0, 2), Label::kMatching);
+  }
+}
+
+TEST(NoisyOracle, RatesApproximateFrequencies) {
+  GroundTruthOracle truth({0, 0, 1});
+  NoisyOracle oracle(&truth, 0.3, 0.1, Rng(3));
+  int false_negatives = 0;
+  int false_positives = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (oracle.GetLabel(0, 1) == Label::kNonMatching) ++false_negatives;
+    if (oracle.GetLabel(0, 2) == Label::kMatching) ++false_positives;
+  }
+  EXPECT_NEAR(static_cast<double>(false_negatives) / kTrials, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(false_positives) / kTrials, 0.1, 0.02);
+  EXPECT_EQ(oracle.num_queries(), 2 * kTrials);
+}
+
+TEST(NoisyOracle, DeterministicPerSeed) {
+  GroundTruthOracle truth({0, 0});
+  NoisyOracle a(&truth, 0.5, 0.5, Rng(7));
+  NoisyOracle b(&truth, 0.5, 0.5, Rng(7));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.GetLabel(0, 1), b.GetLabel(0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,69 @@
+#ifndef CROWDJOIN_TESTS_CORE_TEST_FIXTURES_H_
+#define CROWDJOIN_TESTS_CORE_TEST_FIXTURES_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "core/oracle.h"
+
+namespace crowdjoin::testing_fixtures {
+
+/// The paper's running example (Figure 3): eight candidate pairs over six
+/// objects (o1..o6 mapped to ids 0..5), in decreasing likelihood order.
+/// Ground truth: {o1,o2,o3} match, {o4,o5} match, {o6} is a singleton.
+inline CandidateSet Figure3Pairs() {
+  return {
+      {0, 1, 0.95},  // p1  (matching)
+      {1, 2, 0.90},  // p2  (matching)
+      {0, 5, 0.85},  // p3  (non-matching)
+      {0, 2, 0.80},  // p4  (matching)
+      {3, 4, 0.75},  // p5  (matching)
+      {3, 5, 0.70},  // p6  (non-matching)
+      {1, 3, 0.65},  // p7  (non-matching)
+      {4, 5, 0.60},  // p8  (non-matching)
+  };
+}
+
+/// Ground truth for Figure3Pairs().
+inline GroundTruthOracle Figure3Truth() {
+  return GroundTruthOracle({0, 0, 0, 1, 1, 2});
+}
+
+/// A random consistent instance: objects assigned to entities, candidate
+/// pairs sampled with likelihoods correlated to (but noisy around) the
+/// truth, mimicking a machine likelihood channel.
+struct RandomInstance {
+  CandidateSet pairs;
+  std::vector<int32_t> entity_of;
+};
+
+inline RandomInstance MakeRandomInstance(uint64_t seed, int32_t num_objects,
+                                         int32_t num_entities,
+                                         int32_t num_pairs) {
+  Rng rng(seed);
+  RandomInstance instance;
+  instance.entity_of.resize(static_cast<size_t>(num_objects));
+  for (auto& e : instance.entity_of) {
+    e = static_cast<int32_t>(rng.Index(static_cast<size_t>(num_entities)));
+  }
+  while (static_cast<int32_t>(instance.pairs.size()) < num_pairs) {
+    const auto a =
+        static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    const auto b =
+        static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    if (a == b) continue;
+    const bool matching = instance.entity_of[static_cast<size_t>(a)] ==
+                          instance.entity_of[static_cast<size_t>(b)];
+    const double base = matching ? 0.75 : 0.3;
+    const double likelihood =
+        std::min(0.99, std::max(0.01, base + rng.Normal(0.0, 0.2)));
+    instance.pairs.push_back(
+        {std::min(a, b), std::max(a, b), likelihood});
+  }
+  return instance;
+}
+
+}  // namespace crowdjoin::testing_fixtures
+
+#endif  // CROWDJOIN_TESTS_CORE_TEST_FIXTURES_H_

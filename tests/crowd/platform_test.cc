@@ -1,0 +1,160 @@
+#include "crowd/platform.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+namespace {
+
+// Truth over 6 objects: {0,1,2} match, {3,4} match, {5} alone.
+GroundTruthOracle SmallTruth() {
+  return GroundTruthOracle({0, 0, 0, 1, 1, 2});
+}
+
+CrowdConfig PerfectWorkers() {
+  CrowdConfig config;
+  config.num_workers = 5;
+  config.pairs_per_hit = 3;
+  config.assignments_per_hit = 3;
+  return config;
+}
+
+TEST(CrowdPlatform, EmptyHitRejected) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdPlatform platform(PerfectWorkers(), &truth);
+  EXPECT_EQ(platform.PublishHit({}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CrowdPlatform, OversizedHitRejected) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdPlatform platform(PerfectWorkers(), &truth);
+  std::vector<PairTask> tasks = {
+      {0, 0, 1, 0.9}, {1, 1, 2, 0.8}, {2, 0, 2, 0.7}, {3, 3, 4, 0.6}};
+  EXPECT_EQ(platform.PublishHit(tasks).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CrowdPlatform, PerfectWorkersReturnTruth) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdPlatform platform(PerfectWorkers(), &truth);
+  ASSERT_TRUE(platform
+                  .PublishHit({{0, 0, 1, 0.9}, {1, 0, 5, 0.5}, {2, 3, 4, 0.7}})
+                  .ok());
+  const auto result = platform.RunUntilNextHitCompletion();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->pairs.size(), 3u);
+  EXPECT_EQ(result->pairs[0].label, Label::kMatching);
+  EXPECT_EQ(result->pairs[1].label, Label::kNonMatching);
+  EXPECT_EQ(result->pairs[2].label, Label::kMatching);
+  EXPECT_GT(result->completed_at_hours, 0.0);
+  EXPECT_EQ(platform.num_hits_completed(), 1);
+  EXPECT_EQ(platform.num_assignments_completed(), 3);
+}
+
+TEST(CrowdPlatform, AlwaysWrongWorkersGetOutvotedNever) {
+  // With false rates at the 0.95 clamp, majority votes flip nearly always;
+  // with rate 0 they never do. Check both extremes.
+  GroundTruthOracle truth = SmallTruth();
+  CrowdConfig bad = PerfectWorkers();
+  bad.false_negative_rate = 0.95;
+  bad.false_positive_rate = 0.95;
+  bad.seed = 99;
+  CrowdPlatform platform(bad, &truth);
+  ASSERT_TRUE(platform.PublishHit({{0, 0, 1, 0.9}}).ok());
+  const auto result = platform.RunUntilNextHitCompletion();
+  ASSERT_TRUE(result.has_value());
+  // Truly matching pair answered non-matching with overwhelming odds.
+  EXPECT_EQ(result->pairs[0].label, Label::kNonMatching);
+}
+
+TEST(CrowdPlatform, NoWorkReturnsNullopt) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdPlatform platform(PerfectWorkers(), &truth);
+  EXPECT_FALSE(platform.RunUntilNextHitCompletion().has_value());
+}
+
+TEST(CrowdPlatform, DeterministicPerSeed) {
+  GroundTruthOracle truth = SmallTruth();
+  auto run = [&truth](uint64_t seed) {
+    CrowdConfig config = PerfectWorkers();
+    config.seed = seed;
+    CrowdPlatform platform(config, &truth);
+    CJ_CHECK(platform.PublishHit({{0, 0, 1, 0.9}, {1, 1, 2, 0.6}}).ok());
+    auto result = platform.RunUntilNextHitCompletion();
+    CJ_CHECK(result.has_value());
+    return result->completed_at_hours;
+  };
+  EXPECT_DOUBLE_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(CrowdPlatform, CostTracksAssignments) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdConfig config = PerfectWorkers();
+  config.cents_per_assignment = 2.0;
+  CrowdPlatform platform(config, &truth);
+  ASSERT_TRUE(platform.PublishHit({{0, 0, 1, 0.9}}).ok());
+  ASSERT_TRUE(platform.PublishHit({{1, 1, 2, 0.8}}).ok());
+  while (platform.RunUntilNextHitCompletion().has_value()) {
+  }
+  EXPECT_EQ(platform.num_assignments_completed(), 6);
+  EXPECT_DOUBLE_EQ(platform.total_cost_cents(), 12.0);
+}
+
+TEST(CrowdPlatform, ManyHitsAllComplete) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdConfig config = PerfectWorkers();
+  config.num_workers = 4;
+  CrowdPlatform platform(config, &truth);
+  constexpr int kHits = 40;
+  for (int h = 0; h < kHits; ++h) {
+    ASSERT_TRUE(platform.PublishHit({{h, 0, 1, 0.9}}).ok());
+  }
+  int completed = 0;
+  double last_time = 0.0;
+  while (auto result = platform.RunUntilNextHitCompletion()) {
+    ++completed;
+    EXPECT_GE(result->completed_at_hours, last_time);
+    last_time = result->completed_at_hours;
+  }
+  EXPECT_EQ(completed, kHits);
+  EXPECT_EQ(platform.num_assignments_completed(), kHits * 3);
+}
+
+TEST(CrowdPlatform, QualificationTestShrinksPool) {
+  GroundTruthOracle truth = SmallTruth();
+  CrowdConfig config = PerfectWorkers();
+  config.num_workers = 50;
+  config.false_negative_rate = 0.5;
+  config.false_positive_rate = 0.5;
+  config.use_qualification_test = true;
+  config.seed = 7;
+  CrowdPlatform platform(config, &truth);
+  // With 50% error rates, passing three screening questions has p = 1/8;
+  // the surviving pool must be far smaller than 50 (but >= 3 by contract).
+  EXPECT_LT(platform.num_active_workers(), 25);
+  EXPECT_GE(platform.num_active_workers(), config.assignments_per_hit);
+}
+
+TEST(CrowdPlatform, MoreWorkersFinishFaster) {
+  GroundTruthOracle truth = SmallTruth();
+  auto campaign_hours = [&truth](int workers) {
+    CrowdConfig config = PerfectWorkers();
+    config.num_workers = workers;
+    CrowdPlatform platform(config, &truth);
+    for (int h = 0; h < 30; ++h) {
+      CJ_CHECK(platform.PublishHit({{h, 0, 1, 0.9}}).ok());
+    }
+    while (platform.RunUntilNextHitCompletion().has_value()) {
+    }
+    return platform.now_hours();
+  };
+  EXPECT_LT(campaign_hours(30), campaign_hours(3));
+}
+
+}  // namespace
+}  // namespace crowdjoin

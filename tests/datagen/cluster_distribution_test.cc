@@ -1,0 +1,116 @@
+#include "datagen/cluster_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace crowdjoin {
+namespace {
+
+TEST(PowerLawClusterSizes, SumsToTotalAndRespectsBounds) {
+  PowerLawClusterConfig config;
+  config.total_records = 997;
+  config.max_cluster_size = 102;
+  Rng rng(1);
+  const auto sizes = SamplePowerLawClusterSizes(config, rng).value();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 997);
+  for (int32_t size : sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, 102);
+  }
+  // The forced maximum cluster is present.
+  EXPECT_EQ(*std::max_element(sizes.begin(), sizes.end()), 102);
+}
+
+TEST(PowerLawClusterSizes, NoForcedMaxCluster) {
+  PowerLawClusterConfig config;
+  config.total_records = 100;
+  config.max_cluster_size = 50;
+  config.force_max_cluster = false;
+  Rng rng(2);
+  const auto sizes = SamplePowerLawClusterSizes(config, rng).value();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 100);
+}
+
+TEST(PowerLawClusterSizes, DeterministicPerSeed) {
+  PowerLawClusterConfig config;
+  Rng rng1(3);
+  Rng rng2(3);
+  EXPECT_EQ(SamplePowerLawClusterSizes(config, rng1).value(),
+            SamplePowerLawClusterSizes(config, rng2).value());
+}
+
+TEST(PowerLawClusterSizes, HigherAlphaMeansSmallerClusters) {
+  PowerLawClusterConfig flat;
+  flat.alpha = 0.5;
+  PowerLawClusterConfig steep;
+  steep.alpha = 2.5;
+  Rng rng1(4);
+  Rng rng2(4);
+  const auto flat_sizes = SamplePowerLawClusterSizes(flat, rng1).value();
+  const auto steep_sizes = SamplePowerLawClusterSizes(steep, rng2).value();
+  // Same total records, so more clusters means smaller average size.
+  EXPECT_GT(steep_sizes.size(), flat_sizes.size());
+}
+
+TEST(PowerLawClusterSizes, InvalidConfigs) {
+  Rng rng(5);
+  PowerLawClusterConfig config;
+  config.total_records = 0;
+  EXPECT_EQ(SamplePowerLawClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.total_records = 10;
+  config.max_cluster_size = 20;
+  EXPECT_EQ(SamplePowerLawClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.max_cluster_size = 0;
+  EXPECT_EQ(SamplePowerLawClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SmallClusterSizes, SumsToTotalAndStaysInSupport) {
+  SmallClusterConfig config;
+  config.total_records = 2173;
+  Rng rng(6);
+  const auto sizes = SampleSmallClusterSizes(config, rng).value();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), 0), 2173);
+  for (int32_t size : sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, static_cast<int32_t>(config.size_weights.size()));
+  }
+}
+
+TEST(SmallClusterSizes, FrequenciesDecreaseLikeTheWeights) {
+  SmallClusterConfig config;
+  config.total_records = 20000;
+  Rng rng(7);
+  const auto sizes = SampleSmallClusterSizes(config, rng).value();
+  std::vector<int64_t> counts(7, 0);
+  for (int32_t size : sizes) ++counts[static_cast<size_t>(size)];
+  EXPECT_GT(counts[1], counts[3]);
+  EXPECT_GT(counts[2], counts[3]);
+  EXPECT_GT(counts[3], counts[4]);
+  EXPECT_GT(counts[4], counts[6]);
+}
+
+TEST(SmallClusterSizes, InvalidConfigs) {
+  Rng rng(8);
+  SmallClusterConfig config;
+  config.total_records = -1;
+  EXPECT_EQ(SampleSmallClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.total_records = 10;
+  config.size_weights = {};
+  EXPECT_EQ(SampleSmallClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.size_weights = {0.0, 0.0};
+  EXPECT_EQ(SampleSmallClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  config.size_weights = {0.5, -0.1};
+  EXPECT_EQ(SampleSmallClusterSizes(config, rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace crowdjoin

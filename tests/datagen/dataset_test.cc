@@ -1,0 +1,134 @@
+#include "datagen/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datagen/paper_dataset.h"
+#include "datagen/product_dataset.h"
+
+namespace crowdjoin {
+namespace {
+
+TEST(PaperDataset, GeneratesConfiguredShape) {
+  PaperDatasetConfig config;
+  config.seed = 11;
+  const Dataset dataset = GeneratePaperDataset(config).value();
+  EXPECT_EQ(dataset.records.size(), 997u);
+  EXPECT_EQ(dataset.entity_of.size(), 997u);
+  EXPECT_FALSE(dataset.bipartite);
+  EXPECT_EQ(dataset.schema.field_names.size(), 5u);
+  // Ids are dense and fields match the schema arity.
+  for (size_t i = 0; i < dataset.records.size(); ++i) {
+    EXPECT_EQ(dataset.records[i].id, static_cast<ObjectId>(i));
+    EXPECT_EQ(dataset.records[i].fields.size(), 5u);
+  }
+  // The forced 102-record cluster exists (Figure 10(a)).
+  const auto histogram = ClusterSizeHistogram(dataset);
+  EXPECT_TRUE(histogram.contains(102));
+}
+
+TEST(PaperDataset, DeterministicPerSeed) {
+  PaperDatasetConfig config;
+  config.seed = 12;
+  const Dataset a = GeneratePaperDataset(config).value();
+  const Dataset b = GeneratePaperDataset(config).value();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].fields, b.records[i].fields);
+  }
+  config.seed = 13;
+  const Dataset c = GeneratePaperDataset(config).value();
+  bool any_difference = false;
+  for (size_t i = 0; i < a.records.size() && i < c.records.size(); ++i) {
+    if (a.records[i].fields != c.records[i].fields) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PaperDataset, SameEntityRecordsLookSimilar) {
+  PaperDatasetConfig config;
+  config.seed = 14;
+  const Dataset dataset = GeneratePaperDataset(config).value();
+  RecordScorer scorer = MakePaperScorer();
+  // Average similarity of within-cluster neighbours must dominate the
+  // similarity of records from different entities.
+  double same_sum = 0.0;
+  int same_count = 0;
+  double diff_sum = 0.0;
+  int diff_count = 0;
+  for (size_t i = 0; i + 1 < dataset.records.size() && i < 400; ++i) {
+    const double score =
+        scorer.Score(dataset.records[i], dataset.records[i + 1]).value();
+    if (dataset.entity_of[i] == dataset.entity_of[i + 1]) {
+      same_sum += score;
+      ++same_count;
+    } else {
+      diff_sum += score;
+      ++diff_count;
+    }
+  }
+  ASSERT_GT(same_count, 0);
+  ASSERT_GT(diff_count, 0);
+  EXPECT_GT(same_sum / same_count, diff_sum / diff_count + 0.2);
+}
+
+TEST(ProductDataset, GeneratesBipartiteShape) {
+  ProductDatasetConfig config;
+  config.seed = 15;
+  const Dataset dataset = GenerateProductDataset(config).value();
+  EXPECT_EQ(dataset.records.size(), 2173u);
+  EXPECT_TRUE(dataset.bipartite);
+  EXPECT_EQ(dataset.side_of.size(), dataset.records.size());
+  EXPECT_EQ(dataset.SideCount(0) + dataset.SideCount(1),
+            static_cast<int64_t>(dataset.records.size()));
+  // Cluster sizes are capped at 6 (Figure 10(b)).
+  const auto histogram = ClusterSizeHistogram(dataset);
+  EXPECT_LE(histogram.rbegin()->first, 6);
+  // Multi-record clusters span both sides.
+  EXPECT_GT(NumTrueMatchingPairs(dataset), 0);
+}
+
+TEST(ProductDataset, EligiblePairsAreCrossProduct) {
+  ProductDatasetConfig config;
+  config.seed = 16;
+  const Dataset dataset = GenerateProductDataset(config).value();
+  EXPECT_EQ(NumEligiblePairs(dataset),
+            dataset.SideCount(0) * dataset.SideCount(1));
+}
+
+TEST(ClusterHistogram, CountsBySize) {
+  Dataset dataset;
+  dataset.entity_of = {0, 0, 0, 1, 1, 2};
+  const auto histogram = ClusterSizeHistogram(dataset);
+  EXPECT_EQ(histogram.at(3), 1);
+  EXPECT_EQ(histogram.at(2), 1);
+  EXPECT_EQ(histogram.at(1), 1);
+}
+
+TEST(NumTrueMatchingPairs, SelfJoinCombinatorics) {
+  Dataset dataset;
+  dataset.entity_of = {0, 0, 0, 1, 1, 2};
+  // C(3,2) + C(2,2) + 0 = 3 + 1 = 4.
+  EXPECT_EQ(NumTrueMatchingPairs(dataset), 4);
+}
+
+TEST(NumTrueMatchingPairs, BipartiteCrossSideOnly) {
+  Dataset dataset;
+  dataset.bipartite = true;
+  dataset.entity_of = {0, 0, 0, 1, 1};
+  dataset.side_of = {0, 1, 1, 0, 0};
+  // Entity 0: 1 left * 2 right = 2; entity 1: 2 left * 0 right = 0.
+  EXPECT_EQ(NumTrueMatchingPairs(dataset), 2);
+}
+
+TEST(MakeGroundTruthOracle, AgreesWithEntityAssignment) {
+  Dataset dataset;
+  dataset.entity_of = {0, 0, 1};
+  GroundTruthOracle oracle = MakeGroundTruthOracle(dataset);
+  EXPECT_EQ(oracle.Truth(0, 1), Label::kMatching);
+  EXPECT_EQ(oracle.Truth(0, 2), Label::kNonMatching);
+}
+
+}  // namespace
+}  // namespace crowdjoin

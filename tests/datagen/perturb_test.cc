@@ -1,0 +1,83 @@
+#include "datagen/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+
+namespace crowdjoin {
+namespace {
+
+TEST(Corruptor, TypoIsOneEditAway) {
+  Rng rng(1);
+  Corruptor corruptor({}, &rng);
+  for (int i = 0; i < 200; ++i) {
+    const std::string corrupted = corruptor.Typo("similarity");
+    EXPECT_LE(LevenshteinDistance("similarity", corrupted), 2u);
+    EXPECT_GE(corrupted.size(), 9u);
+    EXPECT_LE(corrupted.size(), 11u);
+  }
+}
+
+TEST(Corruptor, TypoLeavesShortWordsAlone) {
+  Rng rng(2);
+  Corruptor corruptor({}, &rng);
+  EXPECT_EQ(corruptor.Typo("a"), "a");
+  EXPECT_EQ(corruptor.Typo(""), "");
+}
+
+TEST(Corruptor, CorruptTextIsDeterministicPerSeed) {
+  CorruptionConfig config;
+  config.typo_per_word = 0.5;
+  Rng rng1(3);
+  Rng rng2(3);
+  Corruptor c1(config, &rng1);
+  Corruptor c2(config, &rng2);
+  const std::string text = "efficient entity resolution with crowdsourcing";
+  EXPECT_EQ(c1.CorruptText(text), c2.CorruptText(text));
+}
+
+TEST(Corruptor, ZeroRatesLeaveTextUnchanged) {
+  CorruptionConfig config;
+  config.typo_per_word = 0.0;
+  config.drop_word = 0.0;
+  config.duplicate_word = 0.0;
+  config.swap_adjacent = 0.0;
+  config.truncate_word = 0.0;
+  Rng rng(4);
+  Corruptor corruptor(config, &rng);
+  const std::string text = "nothing should change here";
+  EXPECT_EQ(corruptor.CorruptText(text), text);
+}
+
+TEST(Corruptor, CorruptTextNeverEmptiesNonEmptyInput) {
+  CorruptionConfig config;
+  config.drop_word = 0.95;
+  Rng rng(5);
+  Corruptor corruptor(config, &rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(corruptor.CorruptText("word").empty());
+    EXPECT_FALSE(corruptor.CorruptText("two words").empty());
+  }
+}
+
+TEST(Corruptor, InitialFormAbbreviatesFirstName) {
+  Rng rng(6);
+  Corruptor corruptor({}, &rng);
+  EXPECT_EQ(corruptor.InitialForm("john smith"), "j smith");
+  EXPECT_EQ(corruptor.InitialForm("maria garcia lopez"), "m garcia lopez");
+  EXPECT_EQ(corruptor.InitialForm("cher"), "cher");
+}
+
+TEST(Corruptor, JitterStaysWithinBounds) {
+  Rng rng(7);
+  Corruptor corruptor({}, &rng);
+  for (int i = 0; i < 500; ++i) {
+    const double jittered = corruptor.JitterNumber(100.0, 0.1);
+    EXPECT_GE(jittered, 90.0);
+    EXPECT_LE(jittered, 110.0);
+  }
+}
+
+}  // namespace
+}  // namespace crowdjoin

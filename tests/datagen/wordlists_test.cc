@@ -1,0 +1,54 @@
+#include "datagen/wordlists.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/normalize.h"
+
+namespace crowdjoin {
+namespace {
+
+template <typename Pool>
+void ExpectNormalizedAndUnique(const Pool& pool, size_t min_size) {
+  EXPECT_GE(pool.size(), min_size);
+  std::unordered_set<std::string_view> seen;
+  for (std::string_view word : pool) {
+    EXPECT_FALSE(word.empty());
+    // Pools must already be in normalized form (lower-case alnum words)
+    // so that generated text round-trips through NormalizeText unchanged.
+    EXPECT_EQ(NormalizeText(word), word) << word;
+    EXPECT_TRUE(seen.insert(word).second) << "duplicate: " << word;
+  }
+}
+
+TEST(Wordlists, TitleWords) {
+  ExpectNormalizedAndUnique(wordlists::TitleWords(), 150);
+}
+
+TEST(Wordlists, Names) {
+  ExpectNormalizedAndUnique(wordlists::FirstNames(), 50);
+  ExpectNormalizedAndUnique(wordlists::LastNames(), 60);
+}
+
+TEST(Wordlists, ProductPools) {
+  ExpectNormalizedAndUnique(wordlists::Brands(), 40);
+  ExpectNormalizedAndUnique(wordlists::ProductNouns(), 50);
+  ExpectNormalizedAndUnique(wordlists::ProductAdjectives(), 40);
+}
+
+TEST(Wordlists, VenuesHaveDistinctAbbreviations) {
+  const auto& venues = wordlists::Venues();
+  EXPECT_GE(venues.size(), 10u);
+  std::unordered_set<std::string_view> abbreviations;
+  for (const auto& [full, abbreviation] : venues) {
+    EXPECT_FALSE(full.empty());
+    EXPECT_FALSE(abbreviation.empty());
+    EXPECT_LT(abbreviation.size(), full.size());
+    EXPECT_TRUE(abbreviations.insert(abbreviation).second)
+        << "duplicate abbreviation: " << abbreviation;
+  }
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,60 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(ComputeQuality, HandComputedCase) {
+  // Truth: (0,1) and (2,3) match, (0,2) and (1,3) do not.
+  GroundTruthOracle truth({0, 0, 1, 1});
+  const CandidateSet pairs = {
+      {0, 1, 0.9},  // truly matching
+      {2, 3, 0.8},  // truly matching
+      {0, 2, 0.4},  // truly non-matching
+      {1, 3, 0.3},  // truly non-matching
+  };
+  // Predictions: tp on (0,1); fn on (2,3); fp on (0,2); tn on (1,3).
+  const std::vector<Label> predictions = {
+      Label::kMatching, Label::kNonMatching, Label::kMatching,
+      Label::kNonMatching};
+  const QualityMetrics metrics = ComputeQuality(pairs, predictions, truth);
+  EXPECT_EQ(metrics.true_positives, 1);
+  EXPECT_EQ(metrics.false_negatives, 1);
+  EXPECT_EQ(metrics.false_positives, 1);
+  EXPECT_EQ(metrics.true_negatives, 1);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.5);
+  EXPECT_DOUBLE_EQ(metrics.f_measure, 0.5);
+}
+
+TEST(ComputeQuality, PerfectPredictions) {
+  GroundTruthOracle truth({0, 0, 1});
+  const CandidateSet pairs = {{0, 1, 0.9}, {0, 2, 0.2}};
+  const std::vector<Label> predictions = {Label::kMatching,
+                                          Label::kNonMatching};
+  const QualityMetrics metrics = ComputeQuality(pairs, predictions, truth);
+  EXPECT_DOUBLE_EQ(metrics.precision, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.f_measure, 1.0);
+}
+
+TEST(ComputeQuality, NoPredictedMatchesGivesZeroPrecision) {
+  GroundTruthOracle truth({0, 0});
+  const CandidateSet pairs = {{0, 1, 0.9}};
+  const QualityMetrics metrics =
+      ComputeQuality(pairs, {Label::kNonMatching}, truth);
+  EXPECT_DOUBLE_EQ(metrics.precision, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.recall, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.f_measure, 0.0);
+}
+
+TEST(ComputeQuality, EmptyInput) {
+  GroundTruthOracle truth({});
+  const QualityMetrics metrics = ComputeQuality({}, {}, truth);
+  EXPECT_EQ(metrics.true_positives, 0);
+  EXPECT_DOUBLE_EQ(metrics.f_measure, 0.0);
+}
+
+}  // namespace
+}  // namespace crowdjoin

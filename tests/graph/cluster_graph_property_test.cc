@@ -1,0 +1,118 @@
+// Property suite: the ClusterGraph's constant-time deduction must agree
+// with the Lemma 1 reference semantics (BFS path search) on arbitrary
+// consistent labeled-pair sets — the core correctness claim of Section 3.2.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/cluster_graph.h"
+#include "graph/reference_deducer.h"
+#include "graph/union_find.h"
+
+namespace crowdjoin {
+namespace {
+
+struct RandomLabeledSet {
+  int32_t num_objects;
+  std::vector<std::tuple<ObjectId, ObjectId, Label>> labeled;
+};
+
+// Builds a transitively consistent random labeled set: assign objects to
+// ground-truth entities, then label random pairs according to the truth.
+RandomLabeledSet MakeConsistentSet(uint64_t seed, int32_t num_objects,
+                                   int32_t num_entities, int32_t num_pairs) {
+  Rng rng(seed);
+  RandomLabeledSet set;
+  set.num_objects = num_objects;
+  std::vector<int32_t> entity(static_cast<size_t>(num_objects));
+  for (auto& e : entity) {
+    e = static_cast<int32_t>(rng.Index(static_cast<size_t>(num_entities)));
+  }
+  for (int32_t i = 0; i < num_pairs; ++i) {
+    const auto a =
+        static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    const auto b =
+        static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    if (a == b) continue;
+    const Label label = entity[static_cast<size_t>(a)] ==
+                                entity[static_cast<size_t>(b)]
+                            ? Label::kMatching
+                            : Label::kNonMatching;
+    set.labeled.emplace_back(a, b, label);
+  }
+  return set;
+}
+
+class ClusterGraphPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ClusterGraphPropertyTest, AgreesWithReferenceDeducer) {
+  const RandomLabeledSet set =
+      MakeConsistentSet(GetParam(), /*num_objects=*/40, /*num_entities=*/8,
+                        /*num_pairs=*/70);
+  ClusterGraph graph(set.num_objects);
+  ReferenceDeducer reference(set.num_objects);
+  for (const auto& [a, b, label] : set.labeled) {
+    graph.Add(a, b, label);
+    reference.Add(a, b, label);
+  }
+  EXPECT_EQ(graph.num_conflicts(), 0);  // consistent input
+  for (ObjectId a = 0; a < set.num_objects; ++a) {
+    for (ObjectId b = a + 1; b < set.num_objects; ++b) {
+      EXPECT_EQ(graph.Deduce(a, b), reference.Deduce(a, b))
+          << "seed=" << GetParam() << " pair=(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_P(ClusterGraphPropertyTest, IncrementalInsertionOrderIrrelevant) {
+  // Any insertion order of the same labeled set deduces identically.
+  RandomLabeledSet set =
+      MakeConsistentSet(GetParam() ^ 0xabcdef, /*num_objects=*/25,
+                        /*num_entities=*/5, /*num_pairs=*/40);
+  ClusterGraph forward(set.num_objects);
+  for (const auto& [a, b, label] : set.labeled) forward.Add(a, b, label);
+  ClusterGraph backward(set.num_objects);
+  for (auto it = set.labeled.rbegin(); it != set.labeled.rend(); ++it) {
+    backward.Add(std::get<0>(*it), std::get<1>(*it), std::get<2>(*it));
+  }
+  for (ObjectId a = 0; a < set.num_objects; ++a) {
+    for (ObjectId b = a + 1; b < set.num_objects; ++b) {
+      EXPECT_EQ(forward.Deduce(a, b), backward.Deduce(a, b))
+          << "seed=" << GetParam() << " pair=(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST_P(ClusterGraphPropertyTest, EdgeCountMatchesDistinctClusterPairs) {
+  const RandomLabeledSet set =
+      MakeConsistentSet(GetParam() ^ 0x55aa, /*num_objects=*/30,
+                        /*num_entities=*/6, /*num_pairs=*/60);
+  ClusterGraph graph(set.num_objects);
+  UnionFind clusters(set.num_objects);
+  for (const auto& [a, b, label] : set.labeled) {
+    graph.Add(a, b, label);
+    if (label == Label::kMatching) clusters.Union(a, b);
+  }
+  // Count distinct root pairs connected by non-matching labels.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (const auto& [a, b, label] : set.labeled) {
+    if (label != Label::kNonMatching) continue;
+    int32_t ra = clusters.Find(a);
+    int32_t rb = clusters.Find(b);
+    if (ra > rb) std::swap(ra, rb);
+    edges.emplace_back(ra, rb);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  EXPECT_EQ(graph.num_edges(), static_cast<int64_t>(edges.size()))
+      << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, ClusterGraphPropertyTest,
+                         ::testing::Range<uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,69 @@
+#include "graph/reference_deducer.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+constexpr Label kM = Label::kMatching;
+constexpr Label kN = Label::kNonMatching;
+
+TEST(ReferenceDeducer, Lemma1PositiveChain) {
+  ReferenceDeducer deducer(4);
+  deducer.Add(0, 1, kM);
+  deducer.Add(1, 2, kM);
+  deducer.Add(2, 3, kM);
+  EXPECT_EQ(deducer.Deduce(0, 3), Deduction::kMatching);
+}
+
+TEST(ReferenceDeducer, Lemma1SingleNegativeInChain) {
+  ReferenceDeducer deducer(4);
+  deducer.Add(0, 1, kM);
+  deducer.Add(1, 2, kN);
+  deducer.Add(2, 3, kM);
+  EXPECT_EQ(deducer.Deduce(0, 3), Deduction::kNonMatching);
+}
+
+TEST(ReferenceDeducer, TwoNegativesUndeduced) {
+  ReferenceDeducer deducer(3);
+  deducer.Add(0, 1, kN);
+  deducer.Add(1, 2, kN);
+  EXPECT_EQ(deducer.Deduce(0, 2), Deduction::kUndeduced);
+}
+
+TEST(ReferenceDeducer, PrefersMatchingPathOverNonMatching) {
+  // Two paths 0..3: one all-matching, one with a single non-matching pair.
+  // The matching deduction must win (it is what the real label must be,
+  // since a consistent label set cannot support both).
+  ReferenceDeducer deducer(4);
+  deducer.Add(0, 1, kM);
+  deducer.Add(1, 3, kM);
+  deducer.Add(0, 2, kM);
+  deducer.Add(2, 3, kM);
+  EXPECT_EQ(deducer.Deduce(0, 3), Deduction::kMatching);
+}
+
+TEST(ReferenceDeducer, DisconnectedIsUndeduced) {
+  ReferenceDeducer deducer(4);
+  deducer.Add(0, 1, kM);
+  EXPECT_EQ(deducer.Deduce(2, 3), Deduction::kUndeduced);
+  EXPECT_EQ(deducer.Deduce(0, 2), Deduction::kUndeduced);
+}
+
+TEST(ReferenceDeducer, Example1Reproduction) {
+  // Same fixture as the ClusterGraph Example 1 test (Figure 2).
+  ReferenceDeducer deducer(7);
+  deducer.Add(0, 1, kM);
+  deducer.Add(2, 3, kM);
+  deducer.Add(3, 4, kM);
+  deducer.Add(0, 5, kN);
+  deducer.Add(1, 2, kN);
+  deducer.Add(2, 6, kN);
+  deducer.Add(4, 5, kN);
+  EXPECT_EQ(deducer.Deduce(2, 4), Deduction::kMatching);
+  EXPECT_EQ(deducer.Deduce(4, 6), Deduction::kNonMatching);
+  EXPECT_EQ(deducer.Deduce(0, 6), Deduction::kUndeduced);
+}
+
+}  // namespace
+}  // namespace crowdjoin

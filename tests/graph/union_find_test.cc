@@ -1,0 +1,120 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace crowdjoin {
+namespace {
+
+TEST(UnionFind, SingletonsInitially) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_sets(), 4);
+  for (int32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+  EXPECT_FALSE(uf.Same(0, 1));
+}
+
+TEST(UnionFind, UnionMergesAndCounts) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  EXPECT_TRUE(uf.Same(0, 1));
+  EXPECT_EQ(uf.num_sets(), 4);
+  EXPECT_EQ(uf.SetSize(0), 2);
+  uf.Union(2, 3);
+  uf.Union(0, 3);
+  EXPECT_TRUE(uf.Same(1, 2));
+  EXPECT_EQ(uf.num_sets(), 2);
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_FALSE(uf.Same(0, 4));
+}
+
+TEST(UnionFind, UnionIsIdempotent) {
+  UnionFind uf(3);
+  const int32_t root1 = uf.Union(0, 1);
+  const int32_t root2 = uf.Union(0, 1);
+  EXPECT_EQ(root1, root2);
+  EXPECT_EQ(uf.num_sets(), 2);
+  EXPECT_EQ(uf.SetSize(0), 2);
+}
+
+TEST(UnionFind, UnionIntoKeepsChosenRoot) {
+  UnionFind uf(4);
+  uf.UnionInto(2, 3);
+  EXPECT_EQ(uf.Find(3), 2);
+  EXPECT_EQ(uf.Find(2), 2);
+  // Winner may be the smaller set.
+  uf.UnionInto(1, 2);
+  EXPECT_EQ(uf.Find(3), 1);
+  EXPECT_EQ(uf.SetSize(1), 3);
+}
+
+TEST(UnionFind, ResetRestoresSingletons) {
+  UnionFind uf(3);
+  uf.Union(0, 1);
+  uf.Reset(6);
+  EXPECT_EQ(uf.size(), 6);
+  EXPECT_EQ(uf.num_sets(), 6);
+  EXPECT_FALSE(uf.Same(0, 1));
+}
+
+TEST(UnionFind, ChainCompressionFlattens) {
+  constexpr int32_t kN = 1000;
+  UnionFind uf(kN);
+  for (int32_t i = 0; i + 1 < kN; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  const int32_t root = uf.Find(0);
+  for (int32_t i = 0; i < kN; ++i) EXPECT_EQ(uf.Find(i), root);
+  EXPECT_EQ(uf.SetSize(kN - 1), kN);
+}
+
+// Property: UnionFind agrees with a naive label-array implementation under
+// random operation sequences.
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindPropertyTest, MatchesNaiveImplementation) {
+  constexpr int32_t kN = 64;
+  Rng rng(GetParam());
+  UnionFind uf(kN);
+  std::vector<int32_t> naive(kN);
+  for (int32_t i = 0; i < kN; ++i) naive[static_cast<size_t>(i)] = i;
+
+  for (int step = 0; step < 500; ++step) {
+    const auto a = static_cast<int32_t>(rng.Index(kN));
+    const auto b = static_cast<int32_t>(rng.Index(kN));
+    if (rng.Bernoulli(0.4)) {
+      uf.Union(a, b);
+      const int32_t from = naive[static_cast<size_t>(a)];
+      const int32_t to = naive[static_cast<size_t>(b)];
+      if (from != to) {
+        for (auto& label : naive) {
+          if (label == from) label = to;
+        }
+      }
+    } else {
+      EXPECT_EQ(uf.Same(a, b), naive[static_cast<size_t>(a)] ==
+                                   naive[static_cast<size_t>(b)])
+          << "seed=" << GetParam() << " step=" << step;
+    }
+  }
+  // Final set sizes agree.
+  for (int32_t i = 0; i < kN; ++i) {
+    int32_t expected_size = 0;
+    for (int32_t j = 0; j < kN; ++j) {
+      if (naive[static_cast<size_t>(j)] == naive[static_cast<size_t>(i)]) {
+        ++expected_size;
+      }
+    }
+    EXPECT_EQ(uf.SetSize(i), expected_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, UnionFindPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,151 @@
+// Integration tests: the full hybrid human-machine pipeline — dataset
+// generation, machine candidate generation, sorting, transitive labeling,
+// crowd simulation, and quality evaluation — wired together end to end on
+// down-scaled datasets.
+
+#include <gtest/gtest.h>
+
+#include "core/labeling_order.h"
+#include "core/parallel_labeler.h"
+#include "core/sequential_labeler.h"
+#include "crowd/orchestrator.h"
+#include "datagen/paper_dataset.h"
+#include "datagen/product_dataset.h"
+#include "eval/metrics.h"
+#include "eval/workbench.h"
+#include "simjoin/candidate_generator.h"
+
+namespace crowdjoin {
+namespace {
+
+CandidateSet SmallPaperCandidates(Dataset* dataset_out) {
+  PaperDatasetConfig config;
+  config.clusters.total_records = 150;
+  config.clusters.max_cluster_size = 25;
+  config.seed = 31;
+  Dataset dataset = GeneratePaperDataset(config).value();
+  RecordScorer scorer = MakePaperScorer();
+  scorer.FitTfIdf(dataset.records);
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.1;
+  options.min_likelihood = 0.2;
+  CandidateSet candidates =
+      GenerateCandidates(dataset.records, nullptr, scorer, options).value();
+  *dataset_out = std::move(dataset);
+  return candidates;
+}
+
+TEST(EndToEnd, PaperPipelinePerfectOracleIsLossless) {
+  Dataset dataset;
+  const CandidateSet candidates = SmallPaperCandidates(&dataset);
+  ASSERT_GT(candidates.size(), 100u);
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+
+  const auto order =
+      MakeLabelingOrder(candidates, OrderKind::kExpected, &truth, nullptr)
+          .value();
+  GroundTruthOracle oracle = truth;
+  const LabelingResult result =
+      ParallelLabeler().Run(candidates, order, oracle).value();
+
+  // Transitivity must save work on a clustered dataset...
+  EXPECT_LT(result.num_crowdsourced,
+            static_cast<int64_t>(candidates.size()));
+  EXPECT_GT(result.num_deduced, 0);
+  // ...without losing any quality under correct answers.
+  std::vector<Label> labels;
+  for (const auto& outcome : result.outcomes) labels.push_back(outcome.label);
+  const QualityMetrics quality = ComputeQuality(candidates, labels, truth);
+  EXPECT_DOUBLE_EQ(quality.f_measure, 1.0);
+}
+
+TEST(EndToEnd, ProductPipelineBipartite) {
+  ProductDatasetConfig config;
+  config.clusters.total_records = 300;
+  config.seed = 32;
+  Dataset dataset = GenerateProductDataset(config).value();
+  RecordScorer scorer = MakeProductScorer();
+  scorer.FitTfIdf(dataset.records);
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.1;
+  options.min_likelihood = 0.2;
+  const CandidateSet candidates =
+      GenerateCandidates(dataset.records, &dataset.side_of, scorer, options)
+          .value();
+  ASSERT_GT(candidates.size(), 20u);
+
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  const auto order =
+      MakeLabelingOrder(candidates, OrderKind::kExpected, &truth, nullptr)
+          .value();
+  GroundTruthOracle oracle = truth;
+  const LabelingResult result =
+      SequentialLabeler().Run(candidates, order, oracle).value();
+  std::vector<Label> labels;
+  for (const auto& outcome : result.outcomes) labels.push_back(outcome.label);
+  EXPECT_DOUBLE_EQ(ComputeQuality(candidates, labels, truth).f_measure, 1.0);
+}
+
+TEST(EndToEnd, CandidateRecallCoversMostTruePairs) {
+  // The machine step must not weed out many true matches (the premise of
+  // the hybrid workflow).
+  Dataset dataset;
+  const CandidateSet candidates = SmallPaperCandidates(&dataset);
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  int64_t matching_candidates = 0;
+  for (const auto& pair : candidates) {
+    if (truth.Truth(pair.a, pair.b) == Label::kMatching) {
+      ++matching_candidates;
+    }
+  }
+  const int64_t true_pairs = NumTrueMatchingPairs(dataset);
+  EXPECT_GT(static_cast<double>(matching_candidates),
+            0.7 * static_cast<double>(true_pairs));
+}
+
+TEST(EndToEnd, CrowdCampaignWithErrorsStaysReasonable) {
+  Dataset dataset;
+  const CandidateSet candidates = SmallPaperCandidates(&dataset);
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  const auto order =
+      MakeLabelingOrder(candidates, OrderKind::kExpected, &truth, nullptr)
+          .value();
+  CrowdConfig config;
+  config.pairs_per_hit = 10;
+  config.num_workers = 10;
+  config.false_negative_rate = 0.15;
+  config.false_positive_rate = 0.15;
+  config.seed = 17;
+  const AmtRunStats transitive =
+      RunTransitiveAmt(candidates, order, config, truth).value();
+  const AmtRunStats baseline =
+      RunNonTransitiveAmt(candidates, config, truth).value();
+  EXPECT_LT(transitive.num_hits, baseline.num_hits);
+  const QualityMetrics q_transitive =
+      ComputeQuality(candidates, transitive.final_labels, truth);
+  const QualityMetrics q_baseline =
+      ComputeQuality(candidates, baseline.final_labels, truth);
+  // Error propagation through deduction costs some quality, but the result
+  // must stay in a usable band (the paper saw ~5 points of F-measure).
+  EXPECT_GT(q_transitive.f_measure, 0.5);
+  EXPECT_GE(q_baseline.f_measure + 0.02, q_transitive.f_measure);
+}
+
+TEST(EndToEnd, WorkbenchInputsAreWellFormed) {
+  const ExperimentInput paper = MakePaperExperimentInput(77).value();
+  EXPECT_EQ(paper.dataset.records.size(), 997u);
+  EXPECT_FALSE(paper.candidates.empty());
+  const ExperimentInput product = MakeProductExperimentInput(77).value();
+  EXPECT_TRUE(product.dataset.bipartite);
+  EXPECT_FALSE(product.candidates.empty());
+  for (const auto& pair : product.candidates) {
+    EXPECT_NE(product.dataset.side_of[static_cast<size_t>(pair.a)],
+              product.dataset.side_of[static_cast<size_t>(pair.b)]);
+  }
+  // Thresholding is monotone.
+  EXPECT_GE(FilterByThreshold(paper.candidates, 0.2).size(),
+            FilterByThreshold(paper.candidates, 0.4).size());
+}
+
+}  // namespace
+}  // namespace crowdjoin

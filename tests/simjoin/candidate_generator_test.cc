@@ -1,0 +1,118 @@
+#include "simjoin/candidate_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+Record MakeRecord(ObjectId id, std::vector<std::string> fields) {
+  Record record;
+  record.id = id;
+  record.fields = std::move(fields);
+  return record;
+}
+
+RecordScorer NameScorer() {
+  return RecordScorer({{0, FieldMeasure::kJaccardWords, 1.0}});
+}
+
+TEST(GenerateCandidates, SelfJoinFindsSimilarRecords) {
+  const RecordSet records = {
+      MakeRecord(0, {"apple ipad second generation"}),
+      MakeRecord(1, {"apple ipad 2nd generation"}),
+      MakeRecord(2, {"completely unrelated stereo receiver"}),
+  };
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.2;
+  options.min_likelihood = 0.3;
+  const CandidateSet candidates =
+      GenerateCandidates(records, nullptr, NameScorer(), options).value();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].a, 0);
+  EXPECT_EQ(candidates[0].b, 1);
+  EXPECT_GT(candidates[0].likelihood, 0.5);
+}
+
+TEST(GenerateCandidates, BipartiteOnlyCrossSidePairs) {
+  const RecordSet records = {
+      MakeRecord(0, {"sony bravia lcd tv"}),
+      MakeRecord(1, {"sony bravia lcd television"}),  // same side as 0
+      MakeRecord(2, {"sony bravia lcd tv set"}),      // other side
+  };
+  const std::vector<uint8_t> sides = {0, 0, 1};
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.2;
+  options.min_likelihood = 0.2;
+  const CandidateSet candidates =
+      GenerateCandidates(records, &sides, NameScorer(), options).value();
+  // Records 0 and 1 are both on side 0: no candidate between them.
+  for (const auto& pair : candidates) {
+    EXPECT_NE(sides[static_cast<size_t>(pair.a)],
+              sides[static_cast<size_t>(pair.b)])
+        << pair.a << "," << pair.b;
+  }
+  EXPECT_EQ(candidates.size(), 2u);  // (0,2) and (1,2)
+}
+
+TEST(GenerateCandidates, SideVectorSizeMismatchIsError) {
+  const RecordSet records = {MakeRecord(0, {"x"})};
+  const std::vector<uint8_t> sides = {0, 1};
+  CandidateGeneratorOptions options;
+  EXPECT_EQ(GenerateCandidates(records, &sides, NameScorer(), options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GenerateCandidates, MinLikelihoodFilters) {
+  const RecordSet records = {
+      MakeRecord(0, {"alpha beta gamma delta"}),
+      MakeRecord(1, {"alpha beta gamma delta epsilon"}),
+      MakeRecord(2, {"alpha zeta eta theta"}),
+  };
+  CandidateGeneratorOptions loose;
+  loose.token_join_threshold = 0.1;
+  loose.min_likelihood = 0.1;
+  CandidateGeneratorOptions strict = loose;
+  strict.min_likelihood = 0.75;
+  const auto all =
+      GenerateCandidates(records, nullptr, NameScorer(), loose).value();
+  const auto filtered =
+      GenerateCandidates(records, nullptr, NameScorer(), strict).value();
+  EXPECT_GT(all.size(), filtered.size());
+  for (const auto& pair : filtered) {
+    EXPECT_GE(pair.likelihood, 0.75);
+  }
+}
+
+TEST(GenerateCandidates, LikelihoodNoiseIsDeterministicPerSeed) {
+  const RecordSet records = {
+      MakeRecord(0, {"one two three four"}),
+      MakeRecord(1, {"one two three five"}),
+      MakeRecord(2, {"one two six seven"}),
+  };
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.1;
+  options.min_likelihood = 0.05;
+  options.likelihood_noise_stddev = 0.2;
+  options.noise_seed = 77;
+  const auto first =
+      GenerateCandidates(records, nullptr, NameScorer(), options).value();
+  const auto second =
+      GenerateCandidates(records, nullptr, NameScorer(), options).value();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i].likelihood, second[i].likelihood);
+    EXPECT_GE(first[i].likelihood, 0.01);
+    EXPECT_LE(first[i].likelihood, 0.99);
+  }
+}
+
+TEST(GenerateCandidates, EmptyRecordSet) {
+  CandidateGeneratorOptions options;
+  EXPECT_TRUE(
+      GenerateCandidates({}, nullptr, NameScorer(), options).value().empty());
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,127 @@
+#include "simjoin/similarity_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace crowdjoin {
+namespace {
+
+struct Corpus {
+  TokenDictionary dictionary;
+  std::vector<std::vector<int32_t>> docs;
+};
+
+Corpus MakeRandomCorpus(uint64_t seed, size_t num_docs, size_t vocabulary,
+                        size_t min_len, size_t max_len) {
+  Corpus corpus;
+  Rng rng(seed);
+  for (size_t d = 0; d < num_docs; ++d) {
+    const size_t len = min_len + rng.Index(max_len - min_len + 1);
+    std::vector<std::string> tokens;
+    for (size_t t = 0; t < len; ++t) {
+      tokens.push_back(StrFormat(
+          "w%llu", static_cast<unsigned long long>(rng.Index(vocabulary))));
+    }
+    corpus.docs.push_back(corpus.dictionary.AddDocument(tokens));
+  }
+  return corpus;
+}
+
+std::vector<ScoredPair> Sorted(std::vector<ScoredPair> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+  return pairs;
+}
+
+TEST(PrefixFilterSelfJoin, TinyHandCase) {
+  TokenDictionary dict;
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back(dict.AddDocument({"a", "b", "c"}));
+  docs.push_back(dict.AddDocument({"a", "b", "d"}));
+  docs.push_back(dict.AddDocument({"x", "y"}));
+  const auto result = PrefixFilterSelfJoin(docs, dict, 0.5).value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].left, 0);
+  EXPECT_EQ(result[0].right, 1);
+  EXPECT_DOUBLE_EQ(result[0].score, 0.5);
+}
+
+TEST(PrefixFilterSelfJoin, ThresholdOneFindsDuplicatesOnly) {
+  TokenDictionary dict;
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back(dict.AddDocument({"a", "b"}));
+  docs.push_back(dict.AddDocument({"a", "b"}));
+  docs.push_back(dict.AddDocument({"a", "c"}));
+  const auto result = PrefixFilterSelfJoin(docs, dict, 1.0).value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].left, 0);
+  EXPECT_EQ(result[0].right, 1);
+}
+
+TEST(PrefixFilterSelfJoin, InvalidThresholds) {
+  EXPECT_EQ(PrefixFilterSelfJoin({}, TokenDictionary(), 0.0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrefixFilterSelfJoin({}, TokenDictionary(), 1.5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(PrefixFilterSelfJoin({}, TokenDictionary(), -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PrefixFilterSelfJoin, EmptyDocsProduceNothing) {
+  TokenDictionary dict;
+  std::vector<std::vector<int32_t>> docs(3);  // all empty
+  EXPECT_TRUE(PrefixFilterSelfJoin(docs, dict, 0.5).value().empty());
+}
+
+class SelfJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelfJoinPropertyTest, MatchesBruteForceAcrossThresholds) {
+  Corpus corpus = MakeRandomCorpus(GetParam(), /*num_docs=*/80,
+                                   /*vocabulary=*/60, 3, 12);
+  for (double threshold : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto fast =
+        Sorted(PrefixFilterSelfJoin(corpus.docs, corpus.dictionary, threshold)
+                   .value());
+    const auto slow = Sorted(BruteForceSelfJoin(corpus.docs, threshold));
+    EXPECT_EQ(fast, slow) << "seed=" << GetParam()
+                          << " threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SelfJoinPropertyTest,
+                         ::testing::Range<uint64_t>(600, 610));
+
+class BipartiteJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(BipartiteJoinPropertyTest, MatchesBruteForceAcrossThresholds) {
+  Corpus corpus = MakeRandomCorpus(GetParam(), /*num_docs=*/100,
+                                   /*vocabulary=*/50, 2, 10);
+  std::vector<std::vector<int32_t>> left(corpus.docs.begin(),
+                                         corpus.docs.begin() + 40);
+  std::vector<std::vector<int32_t>> right(corpus.docs.begin() + 40,
+                                          corpus.docs.end());
+  for (double threshold : {0.3, 0.5, 0.7, 1.0}) {
+    const auto fast = Sorted(PrefixFilterBipartiteJoin(
+                                 left, right, corpus.dictionary, threshold)
+                                 .value());
+    const auto slow =
+        Sorted(BruteForceBipartiteJoin(left, right, threshold));
+    EXPECT_EQ(fast, slow) << "seed=" << GetParam()
+                          << " threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BipartiteJoinPropertyTest,
+                         ::testing::Range<uint64_t>(700, 710));
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,61 @@
+#include "simjoin/token_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(TokenDictionary, InternsStableIds) {
+  TokenDictionary dict;
+  const auto doc1 = dict.AddDocument({"a", "b"});
+  const auto doc2 = dict.AddDocument({"b", "c"});
+  ASSERT_EQ(doc1.size(), 2u);
+  ASSERT_EQ(doc2.size(), 2u);
+  // "b" must map to the same id in both documents.
+  EXPECT_EQ(doc1[1], doc2[0]);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TokenDictionary, DocumentsAreDeduplicatedAndSorted) {
+  TokenDictionary dict;
+  const auto doc = dict.AddDocument({"z", "a", "z", "a", "m"});
+  EXPECT_EQ(doc.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(doc.begin(), doc.end()));
+}
+
+TEST(TokenDictionary, FrequencyCountsOncePerDocument) {
+  TokenDictionary dict;
+  const auto doc1 = dict.AddDocument({"x", "x", "x"});
+  dict.AddDocument({"x", "y"});
+  EXPECT_EQ(dict.Frequency(doc1[0]), 2);  // two documents contain "x"
+}
+
+TEST(TokenDictionary, EncodeDoesNotTouchFrequencies) {
+  TokenDictionary dict;
+  const auto doc = dict.AddDocument({"x"});
+  dict.Encode({"x", "new"});
+  EXPECT_EQ(dict.Frequency(doc[0]), 1);
+  EXPECT_EQ(dict.size(), 2u);  // "new" interned anyway
+}
+
+TEST(TokenDictionary, SortByRarityPutsRarestFirst) {
+  TokenDictionary dict;
+  dict.AddDocument({"common", "rare"});
+  dict.AddDocument({"common", "medium"});
+  dict.AddDocument({"common", "medium"});
+  auto doc = dict.Encode({"common", "medium", "rare"});
+  dict.SortByRarity(doc);
+  // rare (df=1) < medium (df=2) < common (df=3).
+  EXPECT_EQ(dict.Frequency(doc[0]), 1);
+  EXPECT_EQ(dict.Frequency(doc[1]), 2);
+  EXPECT_EQ(dict.Frequency(doc[2]), 3);
+}
+
+TEST(TokenDictionary, EmptyDocument) {
+  TokenDictionary dict;
+  EXPECT_TRUE(dict.AddDocument({}).empty());
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+}  // namespace
+}  // namespace crowdjoin

@@ -1,0 +1,54 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(LevenshteinDistance, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("same", "same"), 0u);
+}
+
+TEST(LevenshteinDistance, Symmetric) {
+  EXPECT_EQ(LevenshteinDistance("sunday", "saturday"),
+            LevenshteinDistance("saturday", "sunday"));
+}
+
+TEST(LevenshteinSimilarity, NormalizedToUnitInterval) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
+              1e-12);
+}
+
+TEST(JaroSimilarity, ClassicPairs) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("ab", "xy"), 0.0);
+}
+
+TEST(JaroWinklerSimilarity, BoostsCommonPrefix) {
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  EXPECT_NEAR(JaroWinklerSimilarity("dwayne", "duane"), 0.84, 0.01);
+  // Prefix boost only ever increases similarity.
+  EXPECT_GE(JaroWinklerSimilarity("prefix", "preface"),
+            JaroSimilarity("prefix", "preface"));
+}
+
+TEST(JaroWinklerSimilarity, PrefixCapIsFourChars) {
+  const double jaro = JaroSimilarity("abcdefgh", "abcdefzz");
+  const double jw = JaroWinklerSimilarity("abcdefgh", "abcdefzz", 0.1);
+  EXPECT_NEAR(jw, jaro + 4 * 0.1 * (1.0 - jaro), 1e-12);
+}
+
+}  // namespace
+}  // namespace crowdjoin

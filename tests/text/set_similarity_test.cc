@@ -1,0 +1,61 @@
+#include "text/set_similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+using Ids = std::vector<int32_t>;
+
+TEST(OverlapSize, SortedIntersection) {
+  EXPECT_EQ(OverlapSize({1, 3, 5}, {2, 3, 5, 7}), 2u);
+  EXPECT_EQ(OverlapSize({}, {1}), 0u);
+  EXPECT_EQ(OverlapSize({1, 2}, {3, 4}), 0u);
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {1, 2, 3}), 3u);
+}
+
+TEST(JaccardSimilarity, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {1}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {1}), 0.0);
+}
+
+TEST(DiceSimilarity, KnownValues) {
+  EXPECT_DOUBLE_EQ(DiceSimilarity({1, 2, 3}, {2, 3, 4}), 4.0 / 6.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSimilarity({1}, {2}), 0.0);
+}
+
+TEST(CosineSimilarity, KnownValues) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 3, 4}), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {1}), 0.0);
+}
+
+TEST(OverlapCoefficient, KnownValues) {
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({1, 2}, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({1, 5}, {1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {}), 1.0);
+}
+
+TEST(SimilarityOrderingsAgree, MoreOverlapNeverLowersScores) {
+  const Ids base = {1, 2, 3, 4};
+  const Ids close = {1, 2, 3, 9};
+  const Ids far = {1, 8, 9, 10};
+  EXPECT_GT(JaccardSimilarity(base, close), JaccardSimilarity(base, far));
+  EXPECT_GT(DiceSimilarity(base, close), DiceSimilarity(base, far));
+  EXPECT_GT(CosineSimilarity(base, close), CosineSimilarity(base, far));
+}
+
+TEST(JaccardOfTokenSets, DedupsBeforeScoring) {
+  EXPECT_DOUBLE_EQ(
+      JaccardOfTokenSets({"a", "a", "b"}, {"b", "b", "c"}),
+      1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(JaccardOfTokenSets({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOfTokenSets({"x"}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace crowdjoin

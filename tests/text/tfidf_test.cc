@@ -1,0 +1,63 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+using Doc = std::vector<std::string>;
+
+TEST(TfIdfModel, IdfRanksRareTokensHigher) {
+  const TfIdfModel model = TfIdfModel::Fit({
+      {"the", "cat"},
+      {"the", "dog"},
+      {"the", "cat", "dog"},
+      {"the", "zebra"},
+  });
+  EXPECT_GT(model.Idf("zebra"), model.Idf("cat"));
+  EXPECT_GT(model.Idf("cat"), model.Idf("the"));
+  // Unseen tokens get the maximum idf.
+  EXPECT_GT(model.Idf("unseen"), model.Idf("zebra"));
+  EXPECT_EQ(model.num_documents(), 4u);
+}
+
+TEST(TfIdfModel, CosineIdenticalDocsIsOne) {
+  const TfIdfModel model = TfIdfModel::Fit({{"a", "b"}, {"c"}});
+  EXPECT_NEAR(model.Cosine({"a", "b"}, {"a", "b"}), 1.0, 1e-12);
+}
+
+TEST(TfIdfModel, CosineDisjointDocsIsZero) {
+  const TfIdfModel model = TfIdfModel::Fit({{"a"}, {"b"}});
+  EXPECT_DOUBLE_EQ(model.Cosine({"a"}, {"b"}), 0.0);
+}
+
+TEST(TfIdfModel, CosineEmptyDocs) {
+  const TfIdfModel model = TfIdfModel::Fit({{"a"}});
+  EXPECT_DOUBLE_EQ(model.Cosine({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(model.Cosine({"a"}, {}), 0.0);
+}
+
+TEST(TfIdfModel, RareSharedTokenDominates) {
+  // Documents sharing a rare token should be closer than documents sharing
+  // only a ubiquitous one.
+  std::vector<Doc> corpus;
+  for (int i = 0; i < 50; ++i) corpus.push_back({"common", "filler"});
+  corpus.push_back({"common", "rareword"});
+  corpus.push_back({"common", "rareword"});
+  const TfIdfModel model = TfIdfModel::Fit(corpus);
+  const double rare_pair =
+      model.Cosine({"common", "rareword"}, {"other", "rareword"});
+  const double common_pair =
+      model.Cosine({"common", "rareword"}, {"common", "other"});
+  EXPECT_GT(rare_pair, common_pair);
+}
+
+TEST(TfIdfModel, DuplicateTokensCountOncePerDocumentForIdf) {
+  const TfIdfModel model =
+      TfIdfModel::Fit({{"dup", "dup", "dup"}, {"other"}});
+  // df("dup") must be 1, same as df("other").
+  EXPECT_DOUBLE_EQ(model.Idf("dup"), model.Idf("other"));
+}
+
+}  // namespace
+}  // namespace crowdjoin

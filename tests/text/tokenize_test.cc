@@ -1,0 +1,49 @@
+#include "text/tokenize.h"
+
+#include <gtest/gtest.h>
+
+namespace crowdjoin {
+namespace {
+
+TEST(WordTokens, NormalizesThenSplits) {
+  EXPECT_EQ(WordTokens("iPad 2nd-Gen"),
+            (std::vector<std::string>{"ipad", "2nd", "gen"}));
+  EXPECT_TRUE(WordTokens("").empty());
+  EXPECT_TRUE(WordTokens("—!—").empty());
+}
+
+TEST(QGrams, PadsBoundaries) {
+  EXPECT_EQ(QGrams("ab", 2),
+            (std::vector<std::string>{"$a", "ab", "b$"}));
+}
+
+TEST(QGrams, UnigramsHaveNoPadding) {
+  EXPECT_EQ(QGrams("abc", 1),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(QGrams, NormalizesInput) {
+  // "A b" -> "a b": 3-grams over "$$a b$$" (space kept as separator char).
+  const auto grams = QGrams("A b", 3);
+  EXPECT_EQ(grams.front(), "$$a");
+  EXPECT_EQ(grams.back(), "b$$");
+}
+
+TEST(QGrams, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(QGrams("", 3).empty());
+  EXPECT_TRUE(QGrams("!!!", 3).empty());
+}
+
+TEST(QGrams, ShortStringStillProducesGrams) {
+  EXPECT_EQ(QGrams("x", 3),
+            (std::vector<std::string>{"$$x", "$x$", "x$$"}));
+}
+
+TEST(SortUnique, SortsAndDeduplicates) {
+  std::vector<std::string> tokens = {"b", "a", "b", "c", "a"};
+  SortUnique(tokens);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace crowdjoin
