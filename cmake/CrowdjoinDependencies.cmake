@@ -1,0 +1,45 @@
+# Find-or-fetch wrappers for the two external dependencies. Both prefer an
+# installed package (fast, hermetic CI images bake them in) and fall back to
+# FetchContent so a bare machine can still configure — a missing dependency
+# must never break the tier-1 verify.
+
+include(FetchContent)
+
+# Provides GTest::gtest and GTest::gtest_main.
+function(crowdjoin_provide_googletest)
+  if(TARGET GTest::gtest_main)
+    return()
+  endif()
+  find_package(GTest QUIET)
+  if(GTest_FOUND AND TARGET GTest::gtest_main)
+    message(STATUS "crowdjoin: using installed GoogleTest")
+    return()
+  endif()
+  message(STATUS "crowdjoin: GoogleTest not found, fetching v1.14.0")
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endfunction()
+
+# Provides benchmark::benchmark.
+function(crowdjoin_provide_benchmark)
+  if(TARGET benchmark::benchmark)
+    return()
+  endif()
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND AND TARGET benchmark::benchmark)
+    message(STATUS "crowdjoin: using installed Google Benchmark")
+    return()
+  endif()
+  message(STATUS "crowdjoin: Google Benchmark not found, fetching v1.8.3")
+  FetchContent_Declare(benchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(benchmark)
+endfunction()

@@ -1,0 +1,46 @@
+# crowdjoin_add_module(<name> SOURCES <files...> [DEPS <modules...>])
+#
+# Defines the static library crowdjoin_<name> with the alias
+# crowdjoin::<name>. Every module publishes BOTH include roots used in the
+# tree:
+#
+#   - ${PROJECT_SOURCE_DIR}      for repo-root-relative includes, e.g.
+#                                "tests/core/test_fixtures.h",
+#                                "bench/bench_util.h"
+#   - ${PROJECT_SOURCE_DIR}/src  for src-relative includes, e.g.
+#                                "common/rng.h", "graph/cluster_graph.h"
+#
+# src/, tests/, bench/, and examples/ code therefore never needs its own
+# include_directories — linking any crowdjoin:: module is enough.
+#
+# DEPS are other module names (without the crowdjoin_ prefix) and are
+# linked PUBLIC so transitive usage requirements propagate.
+
+# Single definition of the project warning flags; linked PRIVATE by every
+# factory function (modules, tests, benches, examples).
+add_library(crowdjoin_warnings INTERFACE)
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(crowdjoin_warnings INTERFACE -Wall -Wextra)
+endif()
+add_library(crowdjoin::warnings ALIAS crowdjoin_warnings)
+
+function(crowdjoin_add_module NAME)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "crowdjoin_add_module(${NAME}) needs SOURCES")
+  endif()
+
+  set(target crowdjoin_${NAME})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(crowdjoin::${NAME} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC
+    ${PROJECT_SOURCE_DIR}
+    ${PROJECT_SOURCE_DIR}/src)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  target_link_libraries(${target} PRIVATE crowdjoin::warnings)
+
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PUBLIC crowdjoin::${dep})
+  endforeach()
+endfunction()

@@ -1,0 +1,20 @@
+# CROWDJOIN_SANITIZE=ON instruments every target configured in this build
+# (libraries, tests, benches, examples) with AddressSanitizer +
+# UndefinedBehaviorSanitizer. Applied globally rather than per-target so no
+# project target can be left uninstrumented. Prebuilt system libraries
+# (e.g. a distro libgtest) still link uninstrumented; CI's sanitize job
+# therefore installs no gtest package so FetchContent builds it from source
+# under the same flags.
+if(CROWDJOIN_SANITIZE)
+  if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+    message(FATAL_ERROR
+      "CROWDJOIN_SANITIZE=ON requires GCC or Clang, got "
+      "${CMAKE_CXX_COMPILER_ID}")
+  endif()
+  message(STATUS "crowdjoin: building with -fsanitize=address,undefined")
+  add_compile_options(
+    -fsanitize=address,undefined
+    -fno-sanitize-recover=all
+    -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()
