@@ -11,14 +11,15 @@ int main(int argc, char** argv) {
   const crowdjoin::bench::Args args(argc, argv);
   const uint64_t seed = args.GetUint64("seed", 42);
   const double threshold = args.GetDouble("threshold", 0.4);
+  const int num_threads = static_cast<int>(args.GetUint64("threads", 1));
 
   std::printf("=== Figure 14: parallel vs non-parallel labeling "
-              "(threshold %.1f) ===\n", threshold);
+              "(threshold %.1f, %d threads) ===\n", threshold, num_threads);
   crowdjoin::bench::RunParallelComparison(
       crowdjoin::bench::Unwrap(crowdjoin::MakePaperExperimentInput(seed)),
-      threshold);
+      threshold, num_threads);
   crowdjoin::bench::RunParallelComparison(
       crowdjoin::bench::Unwrap(crowdjoin::MakeProductExperimentInput(seed)),
-      threshold);
+      threshold, num_threads);
   return 0;
 }

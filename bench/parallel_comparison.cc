@@ -4,13 +4,16 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "common/macros.h"
+#include "common/timer.h"
 #include "core/labeling_order.h"
 #include "core/parallel_labeler.h"
 #include "core/sequential_labeler.h"
 
 namespace crowdjoin::bench {
 
-void RunParallelComparison(const ExperimentInput& input, double threshold) {
+void RunParallelComparison(const ExperimentInput& input, double threshold,
+                           int num_threads) {
   GroundTruthOracle truth = MakeGroundTruthOracle(input.dataset);
   const CandidateSet pairs = FilterByThreshold(input.candidates, threshold);
   const std::vector<int32_t> order = Unwrap(MakeLabelingOrder(
@@ -19,9 +22,23 @@ void RunParallelComparison(const ExperimentInput& input, double threshold) {
   GroundTruthOracle oracle_seq = truth;
   const LabelingResult sequential =
       Unwrap(SequentialLabeler().Run(pairs, order, oracle_seq));
+
   GroundTruthOracle oracle_par = truth;
+  WallTimer timer;
   const LabelingResult parallel =
-      Unwrap(ParallelLabeler().Run(pairs, order, oracle_par));
+      Unwrap(ParallelLabeler(ConflictPolicy::kKeepFirst, num_threads)
+                 .Run(pairs, order, oracle_par));
+  const double parallel_ms = timer.ElapsedMillis();
+
+  // The determinism contract, re-checked on paper-scale data every
+  // multi-threaded run (at 1 thread the comparison would be vacuous).
+  if (num_threads > 1) {
+    GroundTruthOracle oracle_base = truth;
+    const LabelingResult baseline = Unwrap(
+        ParallelLabeler(ConflictPolicy::kKeepFirst, /*num_threads=*/1)
+            .Run(pairs, order, oracle_base));
+    CJ_CHECK(parallel == baseline);
+  }
 
   std::printf("\n-- %s (threshold=%.1f, %zu candidate pairs) --\n",
               input.dataset.name.c_str(), threshold, pairs.size());
@@ -29,9 +46,13 @@ void RunParallelComparison(const ExperimentInput& input, double threshold) {
               "(one pair per iteration)\n",
               static_cast<long long>(sequential.num_crowdsourced),
               sequential.crowdsourced_per_iteration.size());
-  std::printf("Parallel:     %lld crowdsourced pairs in %zu iterations\n",
+  std::printf("Parallel:     %lld crowdsourced pairs in %zu iterations "
+              "(%d thread%s, %.1f ms%s)\n",
               static_cast<long long>(parallel.num_crowdsourced),
-              parallel.crowdsourced_per_iteration.size());
+              parallel.crowdsourced_per_iteration.size(), num_threads,
+              num_threads == 1 ? "" : "s", parallel_ms,
+              num_threads == 1 ? ""
+                               : ", result identical to 1 thread");
   std::string series;
   for (size_t i = 0; i < parallel.crowdsourced_per_iteration.size(); ++i) {
     if (i > 0) series += ", ";

@@ -1,20 +1,38 @@
-# CROWDJOIN_SANITIZE=ON instruments every target configured in this build
-# (libraries, tests, benches, examples) with AddressSanitizer +
-# UndefinedBehaviorSanitizer. Applied globally rather than per-target so no
-# project target can be left uninstrumented. Prebuilt system libraries
-# (e.g. a distro libgtest) still link uninstrumented; CI's sanitize job
-# therefore installs no gtest package so FetchContent builds it from source
-# under the same flags.
+# CROWDJOIN_SANITIZE instruments every target configured in this build
+# (libraries, tests, benches, examples). Modes:
+#
+#   OFF              no instrumentation (default)
+#   ON / address     AddressSanitizer + UndefinedBehaviorSanitizer
+#   thread           ThreadSanitizer (for the ThreadPool / parallel-labeler
+#                    code paths; incompatible with ASan, hence a mode)
+#
+# Applied globally rather than per-target so no project target can be left
+# uninstrumented. Prebuilt system libraries (e.g. a distro libgtest) still
+# link uninstrumented; CI's sanitize jobs therefore install no gtest package
+# so FetchContent builds it from source under the same flags.
 if(CROWDJOIN_SANITIZE)
   if(NOT CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
     message(FATAL_ERROR
-      "CROWDJOIN_SANITIZE=ON requires GCC or Clang, got "
+      "CROWDJOIN_SANITIZE=${CROWDJOIN_SANITIZE} requires GCC or Clang, got "
       "${CMAKE_CXX_COMPILER_ID}")
   endif()
-  message(STATUS "crowdjoin: building with -fsanitize=address,undefined")
+
+  string(TOLOWER "${CROWDJOIN_SANITIZE}" _crowdjoin_sanitize_mode)
+  if(_crowdjoin_sanitize_mode STREQUAL "thread")
+    set(_crowdjoin_sanitize_flags thread)
+  elseif(_crowdjoin_sanitize_mode MATCHES "^(on|true|1|yes|address)$")
+    set(_crowdjoin_sanitize_flags address,undefined)
+  else()
+    message(FATAL_ERROR
+      "Unknown CROWDJOIN_SANITIZE value '${CROWDJOIN_SANITIZE}'; expected "
+      "OFF, ON, address, or thread")
+  endif()
+
+  message(STATUS
+    "crowdjoin: building with -fsanitize=${_crowdjoin_sanitize_flags}")
   add_compile_options(
-    -fsanitize=address,undefined
+    -fsanitize=${_crowdjoin_sanitize_flags}
     -fno-sanitize-recover=all
     -fno-omit-frame-pointer)
-  add_link_options(-fsanitize=address,undefined)
+  add_link_options(-fsanitize=${_crowdjoin_sanitize_flags})
 endif()

@@ -2,7 +2,7 @@
 // motivates: a Cora-like bibliography with heavy duplication is resolved
 // with the hybrid machine + crowd + transitivity pipeline.
 //
-//   $ ./paper_dedup [--seed=N]
+//   $ ./paper_dedup [--seed=N] [--threads=N]
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,10 +18,14 @@ using namespace crowdjoin;  // NOLINT(build/namespaces)
 
 int main(int argc, char** argv) {
   uint64_t seed = 42;
+  int num_threads = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = static_cast<int>(std::strtol(arg.c_str() + 10,
+                                                 nullptr, 10));
     }
   }
 
@@ -56,14 +60,18 @@ int main(int argc, char** argv) {
                   static_cast<int64_t>(dataset.records.size()) *
                   (static_cast<int64_t>(dataset.records.size()) - 1) / 2));
 
-  // 3. Crowd step with transitive relations, in the heuristic order.
+  // 3. Crowd step with transitive relations, in the heuristic order. Each
+  //    round's oracle calls are fanned out over the worker pool; the
+  //    labeling result is identical for any --threads value.
   GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
   const auto order = MakeLabelingOrder(candidates, OrderKind::kExpected,
                                        &truth, /*rng=*/nullptr)
                          .value();
   GroundTruthOracle crowd = truth;  // simulated, always-correct workers
   const LabelingResult result =
-      ParallelLabeler().Run(candidates, order, crowd).value();
+      ParallelLabeler(ConflictPolicy::kKeepFirst, num_threads)
+          .Run(candidates, order, crowd)
+          .value();
 
   std::vector<Label> labels;
   labels.reserve(result.outcomes.size());

@@ -36,10 +36,14 @@ int main() {
           .value();
 
   // 2. Labeling component: the parallel labeler publishes every pair that
-  //    must be crowdsourced, waits for the labels, deduces the rest via
-  //    positive/negative transitivity, and iterates.
+  //    must be crowdsourced, fans the oracle calls of each round over a
+  //    4-thread worker pool (the result is identical for any thread
+  //    count), deduces the rest via positive/negative transitivity, and
+  //    iterates.
   const LabelingResult result =
-      ParallelLabeler().Run(candidates, order, crowd).value();
+      ParallelLabeler(ConflictPolicy::kKeepFirst, /*num_threads=*/4)
+          .Run(candidates, order, crowd)
+          .value();
 
   std::printf("labeled %zu candidate pairs:\n", candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {

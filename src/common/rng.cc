@@ -9,14 +9,6 @@ namespace crowdjoin {
 
 namespace {
 
-uint64_t SplitMix64(uint64_t& state) {
-  state += 0x9E3779B97F4A7C15ull;
-  uint64_t z = state;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace

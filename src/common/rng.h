@@ -8,6 +8,20 @@
 
 namespace crowdjoin {
 
+/// \brief One SplitMix64 step: advances `state` and returns the next
+/// 64-bit output.
+///
+/// The stateless building block behind both `Rng` seeding and hash-derived
+/// (counter-based) randomness such as `HashNoisyOracle`, kept here so the
+/// magic constants exist exactly once.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 /// \brief Deterministic pseudo-random number generator (xoshiro256**).
 ///
 /// Every source of randomness in the library flows through an explicitly

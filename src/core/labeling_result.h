@@ -18,6 +18,8 @@ enum class LabelSource : uint8_t {
 struct PairOutcome {
   Label label = Label::kNonMatching;
   LabelSource source = LabelSource::kCrowdsourced;
+
+  friend bool operator==(const PairOutcome&, const PairOutcome&) = default;
 };
 
 /// \brief Output of a labeling run over a candidate set.
@@ -35,6 +37,11 @@ struct LabelingResult {
   /// labeler reports one entry per crowdsourced pair (all 1s), matching the
   /// Non-Parallel series of Figures 13–14.
   std::vector<int64_t> crowdsourced_per_iteration;
+
+  /// Field-wise equality — the equivalence the parallel labeler's
+  /// thread-count-independence contract (and its tests) is stated in.
+  friend bool operator==(const LabelingResult&,
+                         const LabelingResult&) = default;
 };
 
 }  // namespace crowdjoin

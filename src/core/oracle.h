@@ -1,6 +1,7 @@
 #ifndef CROWDJOIN_CORE_ORACLE_H_
 #define CROWDJOIN_CORE_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -14,18 +15,40 @@ namespace crowdjoin {
 /// The labelers call this once per crowdsourced pair. Implementations:
 /// ground truth (the paper's correct-answer assumption, Section 2.1) and a
 /// noisy wrapper used for the quality experiments (Table 2).
+///
+/// The parallel labeler may issue the calls of one batch from several
+/// worker threads at once, so query counting is atomic here in the base.
+/// An implementation is *batch-safe* when concurrent `GetLabel` calls are
+/// data-race free and each answer depends only on the pair, never on the
+/// order of other calls — the precondition for the parallel labeler's
+/// thread-count-independence guarantee. `GroundTruthOracle` and
+/// `HashNoisyOracle` are batch-safe; `NoisyOracle` (sequential RNG stream)
+/// is not and must be used with a single labeling thread.
 class LabelOracle {
  public:
+  LabelOracle() = default;
   virtual ~LabelOracle() = default;
+
+  // std::atomic is neither copyable nor movable; oracles are value types
+  // throughout the tests and benches, so copy the counter's value.
+  LabelOracle(const LabelOracle& other)
+      : num_queries_(other.num_queries_.load(std::memory_order_relaxed)) {}
+  LabelOracle& operator=(const LabelOracle& other) {
+    num_queries_.store(other.num_queries_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    return *this;
+  }
 
   /// The label the crowd returns for pair (a, b).
   virtual Label GetLabel(ObjectId a, ObjectId b) = 0;
 
   /// Number of labels served so far (i.e. crowdsourced pairs billed).
-  int64_t num_queries() const { return num_queries_; }
+  int64_t num_queries() const {
+    return num_queries_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  int64_t num_queries_ = 0;
+  std::atomic<int64_t> num_queries_ = 0;
 };
 
 /// \brief Always-correct oracle backed by an entity assignment: objects
@@ -62,6 +85,10 @@ class GroundTruthOracle : public LabelOracle {
 /// `false_negative_rate` is the probability a truly matching pair is
 /// answered "non-matching"; `false_positive_rate` the reverse. Aggregation
 /// (majority voting across assignments) lives in the crowd module.
+///
+/// Not batch-safe: each answer advances the shared RNG stream, so it
+/// depends on global call order. Use `HashNoisyOracle` when the labeling
+/// runs on more than one thread.
 class NoisyOracle : public LabelOracle {
  public:
   NoisyOracle(const GroundTruthOracle* truth, double false_negative_rate,
@@ -87,6 +114,58 @@ class NoisyOracle : public LabelOracle {
   double false_negative_rate_;
   double false_positive_rate_;
   Rng rng_;
+};
+
+/// \brief Noisy oracle whose error coin for pair (a, b) is a pure function
+/// of (seed, a, b) — a counter-based RNG rather than a sequential stream.
+///
+/// Answers are therefore identical no matter how calls interleave across
+/// threads or repeat across runs, which makes this the noisy oracle of
+/// choice for the parallel labeler's determinism contract (and its tests).
+/// Error semantics match `NoisyOracle`: a truly matching pair flips to
+/// non-matching with `false_negative_rate`, and vice versa.
+class HashNoisyOracle : public LabelOracle {
+ public:
+  HashNoisyOracle(const GroundTruthOracle* truth, double false_negative_rate,
+                  double false_positive_rate, uint64_t seed)
+      : truth_(truth),
+        false_negative_rate_(false_negative_rate),
+        false_positive_rate_(false_positive_rate),
+        seed_(seed) {}
+
+  Label GetLabel(ObjectId a, ObjectId b) override {
+    ++num_queries_;
+    const Label real = truth_->Truth(a, b);
+    const double flip = real == Label::kMatching ? false_negative_rate_
+                                                 : false_positive_rate_;
+    if (PairUniform(a, b) < flip) {
+      return real == Label::kMatching ? Label::kNonMatching
+                                      : Label::kMatching;
+    }
+    return real;
+  }
+
+ private:
+  // Uniform double in [0, 1) derived from a SplitMix64 hash of (seed, a,
+  // b), using the 53 high bits as the mantissa. The pair is normalized to
+  // (min, max) first so (a, b) and (b, a) draw the same coin — "pure
+  // function of the pair" means the unordered pair.
+  double PairUniform(ObjectId a, ObjectId b) const {
+    const ObjectId lo = a < b ? a : b;
+    const ObjectId hi = a < b ? b : a;
+    uint64_t state = seed_;
+    uint64_t h = SplitMix64(state);
+    state = h ^ static_cast<uint64_t>(static_cast<uint32_t>(lo));
+    h = SplitMix64(state);
+    state = h ^ static_cast<uint64_t>(static_cast<uint32_t>(hi));
+    h = SplitMix64(state);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  const GroundTruthOracle* truth_;
+  double false_negative_rate_;
+  double false_positive_rate_;
+  uint64_t seed_;
 };
 
 }  // namespace crowdjoin

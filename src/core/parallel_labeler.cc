@@ -1,6 +1,9 @@
 #include "core/parallel_labeler.h"
 
+#include <optional>
+
 #include "common/macros.h"
+#include "common/thread_pool.h"
 #include "core/sequential_labeler.h"
 
 namespace crowdjoin {
@@ -35,6 +38,30 @@ std::vector<int32_t> ParallelCrowdsourcedPairs(
 Result<LabelingResult> ParallelLabeler::Run(const CandidateSet& pairs,
                                             const std::vector<int32_t>& order,
                                             LabelOracle& oracle) const {
+  // One pool shared by every round of this run. Created only when real
+  // parallelism was requested: the single-threaded path calls the oracle
+  // inline in batch order, which keeps order-dependent oracles (e.g.
+  // NoisyOracle's sequential RNG stream) exactly as deterministic as the
+  // pre-threading implementation.
+  std::optional<ThreadPool> pool;
+  if (num_threads_ > 1) pool.emplace(num_threads_);
+
+  return RunWithBatchSource(
+      pairs, order,
+      [&](const std::vector<int32_t>& batch) -> Result<std::vector<Label>> {
+        return ParallelMap(
+            pool.has_value() ? &*pool : nullptr,
+            static_cast<int64_t>(batch.size()), [&](int64_t i) {
+              const CandidatePair& pair =
+                  pairs[static_cast<size_t>(batch[static_cast<size_t>(i)])];
+              return oracle.GetLabel(pair.a, pair.b);
+            });
+      });
+}
+
+Result<LabelingResult> ParallelLabeler::RunWithBatchSource(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const BatchLabelFn& label_batch) const {
   CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
 
   LabelingResult result;
@@ -49,10 +76,15 @@ Result<LabelingResult> ParallelLabeler::Run(const CandidateSet& pairs,
                                   /*exclude_from_output=*/nullptr, policy_);
     CJ_CHECK(!batch.empty());  // undeduced pairs always remain publishable
 
-    // Crowdsource all batch pairs "simultaneously" (line 5).
-    for (int32_t pos : batch) {
-      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-      const Label label = oracle.GetLabel(pair.a, pair.b);
+    // Crowdsource all batch pairs "simultaneously" (line 5), then merge
+    // the answers back by batch position on this thread — the step that
+    // makes the result independent of how the source resolved them.
+    CJ_ASSIGN_OR_RETURN(const std::vector<Label> batch_labels,
+                        label_batch(batch));
+    CJ_CHECK(batch_labels.size() == batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const int32_t pos = batch[i];
+      const Label label = batch_labels[i];
       labels[static_cast<size_t>(pos)] = label;
       result.outcomes[static_cast<size_t>(pos)] = {
           label, LabelSource::kCrowdsourced};

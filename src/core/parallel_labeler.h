@@ -1,6 +1,7 @@
 #ifndef CROWDJOIN_CORE_PARALLEL_LABELER_H_
 #define CROWDJOIN_CORE_PARALLEL_LABELER_H_
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,16 @@ std::vector<int32_t> ParallelCrowdsourcedPairs(
     const std::vector<bool>* exclude_from_output = nullptr,
     ConflictPolicy policy = ConflictPolicy::kKeepFirst);
 
+/// \brief Resolves the labels of one published batch of candidate
+/// positions. Must return one label per input position, positionally.
+///
+/// This is the seam between the round engine and whatever answers the
+/// questions: `ParallelLabeler::Run` supplies an oracle-backed source that
+/// fans the calls out over a worker pool; the crowd orchestrator supplies
+/// one that publishes the batch as HITs on the simulated platform.
+using BatchLabelFn =
+    std::function<Result<std::vector<Label>>(const std::vector<int32_t>&)>;
+
 /// \brief The round-based parallel labeling algorithm of Section 5.1
 /// (Algorithm 2).
 ///
@@ -39,19 +50,45 @@ std::vector<int32_t> ParallelCrowdsourcedPairs(
 /// until all pairs are labeled. The crowdsourced pair *set* is identical to
 /// the sequential labeler's on the same order; only the number of rounds
 /// differs (Figures 13–14).
+///
+/// **Threading & determinism contract.** With `num_threads > 1`, `Run`
+/// crowdsources each batch across that many `ThreadPool` workers. The
+/// calls of a batch are independent by construction (that is what makes
+/// the batch publishable at once), and their answers are merged back by
+/// batch position on the calling thread before the deduction scan, so the
+/// `LabelingResult` — outcomes, per-iteration batch sizes, crowdsourced /
+/// deduced counts, conflicts — is identical for every thread count,
+/// provided the oracle is batch-safe (see `LabelOracle`).
 class ParallelLabeler {
  public:
-  explicit ParallelLabeler(ConflictPolicy policy = ConflictPolicy::kKeepFirst)
-      : policy_(policy) {}
+  /// `num_threads` is the worker count used by `Run`'s oracle fan-out;
+  /// values <= 1 keep every oracle call on the calling thread, in batch
+  /// order (safe for any oracle, even order-dependent ones).
+  explicit ParallelLabeler(ConflictPolicy policy = ConflictPolicy::kKeepFirst,
+                           int num_threads = 1)
+      : policy_(policy), num_threads_(num_threads) {}
 
-  /// Runs rounds until every pair is labeled. `crowdsourced_per_iteration`
-  /// in the result holds the batch size of every round.
+  /// Runs rounds until every pair is labeled, resolving each batch through
+  /// `oracle` (in parallel when `num_threads` > 1).
+  /// `crowdsourced_per_iteration` in the result holds the batch size of
+  /// every round.
   Result<LabelingResult> Run(const CandidateSet& pairs,
                              const std::vector<int32_t>& order,
                              LabelOracle& oracle) const;
 
+  /// The same round engine with label resolution delegated to
+  /// `label_batch` — the building block for crowd-platform publication
+  /// strategies that answer a whole batch at once. `num_threads` is not
+  /// consulted here; the batch source owns its own parallelism.
+  Result<LabelingResult> RunWithBatchSource(
+      const CandidateSet& pairs, const std::vector<int32_t>& order,
+      const BatchLabelFn& label_batch) const;
+
+  int num_threads() const { return num_threads_; }
+
  private:
   ConflictPolicy policy_;
+  int num_threads_ = 1;
 };
 
 }  // namespace crowdjoin

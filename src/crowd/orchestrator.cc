@@ -1,9 +1,11 @@
 #include "crowd/orchestrator.h"
 
 #include <deque>
+#include <unordered_map>
 
 #include "common/macros.h"
 #include "core/instant_decision.h"
+#include "core/parallel_labeler.h"
 #include "crowd/platform.h"
 
 namespace crowdjoin {
@@ -112,6 +114,87 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
   stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
   stats.num_deduced_pairs = labeling.num_deduced;
   return stats;
+}
+
+Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
+                                   const std::vector<int32_t>& order,
+                                   const CrowdConfig& config,
+                                   const GroundTruthOracle& truth) {
+  CrowdPlatform platform(config, &truth);
+  // Label resolution comes from the platform (which already services a
+  // round's HITs concurrently via the simulated worker pool), so the
+  // labeler is constructed without a thread count — config.num_threads
+  // applies to oracle-driven local labeling (ParallelLabeler::Run).
+  const ParallelLabeler labeler(ConflictPolicy::kKeepFirst);
+  CJ_ASSIGN_OR_RETURN(
+      const LabelingResult labeling,
+      labeler.RunWithBatchSource(
+          pairs, order,
+          [&](const std::vector<int32_t>& batch)
+              -> Result<std::vector<Label>> {
+            // Publish the whole round simultaneously, batched into HITs.
+            std::deque<int32_t> queue(batch.begin(), batch.end());
+            int64_t in_flight = 0;
+            while (!queue.empty()) {
+              CJ_ASSIGN_OR_RETURN(
+                  int64_t hit_id,
+                  platform.PublishHit(
+                      TakeHitTasks(pairs, queue, config.pairs_per_hit)));
+              (void)hit_id;
+              ++in_flight;
+            }
+            // Algorithm 2's round barrier: wait for every HIT before the
+            // deduction scan, collecting majority votes by batch slot.
+            std::unordered_map<int32_t, size_t> slot_of;
+            for (size_t i = 0; i < batch.size(); ++i) {
+              slot_of[batch[i]] = i;
+            }
+            std::vector<Label> labels(batch.size(), Label::kNonMatching);
+            size_t num_answered = 0;
+            while (in_flight > 0) {
+              auto completed = platform.RunUntilNextHitCompletion();
+              CJ_CHECK(completed.has_value());
+              --in_flight;
+              for (const CompletedPair& pair : completed->pairs) {
+                const auto it = slot_of.find(pair.position);
+                CJ_CHECK(it != slot_of.end());
+                labels[it->second] = pair.label;
+                ++num_answered;
+              }
+            }
+            // Every slot answered exactly once — an unanswered slot would
+            // otherwise silently keep the kNonMatching default.
+            CJ_CHECK(num_answered == batch.size());
+            return labels;
+          }));
+
+  AmtRunStats stats;
+  stats.final_labels.reserve(pairs.size());
+  for (const PairOutcome& outcome : labeling.outcomes) {
+    stats.final_labels.push_back(outcome.label);
+  }
+  stats.num_hits = platform.num_hits_published();
+  stats.num_assignments = platform.num_assignments_completed();
+  stats.total_hours = platform.now_hours();
+  stats.total_cost_cents = platform.total_cost_cents();
+  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
+  stats.num_deduced_pairs = labeling.num_deduced;
+  return stats;
+}
+
+Result<LabelingResult> RunLocalParallelLabeling(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const CrowdConfig& config, const GroundTruthOracle& truth) {
+  const ParallelLabeler labeler(ConflictPolicy::kKeepFirst,
+                                config.num_threads);
+  if (config.false_negative_rate == 0.0 &&
+      config.false_positive_rate == 0.0) {
+    GroundTruthOracle oracle = truth;
+    return labeler.Run(pairs, order, oracle);
+  }
+  HashNoisyOracle oracle(&truth, config.false_negative_rate,
+                         config.false_positive_rate, config.seed);
+  return labeler.Run(pairs, order, oracle);
 }
 
 Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "core/candidate.h"
+#include "core/labeling_result.h"
 #include "core/oracle.h"
 #include "crowd/config.h"
 #include "graph/label.h"
@@ -50,6 +51,34 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
                                       const std::vector<int32_t>& order,
                                       const CrowdConfig& config,
                                       const GroundTruthOracle& truth);
+
+/// \brief Table 1's "Parallel" strategy (Algorithm 2, without instant
+/// decisions): each round publishes the whole must-crowdsource batch to the
+/// platform at once (batched into HITs), waits for every HIT of the round,
+/// feeds the majority votes into the deduction scan, and repeats.
+///
+/// Runs `ParallelLabeler::RunWithBatchSource` with the platform as batch
+/// source. `config.num_threads` plays no role here: it parallelizes
+/// oracle-driven labeling (`ParallelLabeler::Run`), whereas this
+/// campaign's labels come from the platform, which already services a
+/// round's HITs concurrently through the simulated worker pool.
+Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
+                                   const std::vector<int32_t>& order,
+                                   const CrowdConfig& config,
+                                   const GroundTruthOracle& truth);
+
+/// \brief Latency-free labeling campaign driven by a CrowdConfig: the
+/// quality counterpart of `RunParallelAmt` when the HIT latency model is
+/// not needed (sweeps that only care about labels and counts).
+///
+/// Builds a batch-safe oracle from the config — exact ground truth when
+/// both error rates are zero, otherwise a `HashNoisyOracle` seeded with
+/// `config.seed` — and runs the round-based parallel labeler with its
+/// oracle calls fanned across `config.num_threads` pool workers. By the
+/// labeler's contract the result is identical for every `num_threads`.
+Result<LabelingResult> RunLocalParallelLabeling(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const CrowdConfig& config, const GroundTruthOracle& truth);
 
 }  // namespace crowdjoin
 

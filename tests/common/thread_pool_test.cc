@@ -1,0 +1,177 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace crowdjoin {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  // Inline execution: the task has run by the time Submit returns, on the
+  // submitting thread itself.
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool ran = false;
+  auto future = pool.Submit([&] {
+    ran = true;
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(ran_on, self);
+  future.get();  // still a valid future
+}
+
+TEST(ThreadPool, NegativeThreadsClampToInline) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.num_threads(), 0);
+  int x = 0;
+  pool.Submit([&x] { x = 7; }).get();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(ThreadPool, OneThreadRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> log;  // only the single worker writes, no lock needed
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&log, i] { log.push_back(i); }));
+  }
+  for (auto& future : futures) future.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(log, expected);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, InlinePoolPropagatesExceptionsThroughFuture) {
+  ThreadPool pool(0);
+  auto future = pool.Submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructionCompletesQueuedWork) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(1);
+    // The first task blocks the lone worker long enough for the rest to
+    // pile up in the queue; destruction must still run them all.
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&completed, i] {
+        if (i == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        ++completed;
+      });
+    }
+  }  // ~ThreadPool
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(ThreadPool, StressManyTinyTasks) {
+  ThreadPool pool(8);
+  std::atomic<int64_t> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(10000);
+  for (int64_t i = 0; i < 10000; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(sum.load(), 10000ll * 9999 / 2);
+}
+
+TEST(ParallelMap, ComputesAllResultsByIndex) {
+  ThreadPool pool(4);
+  const std::vector<int64_t> squares =
+      ParallelMap(&pool, 1000, [](int64_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(squares[static_cast<size_t>(i)], i * i);
+  }
+}
+
+TEST(ParallelMap, IdenticalResultsAcrossPoolSizes) {
+  const auto body = [](int64_t i) { return i * 31 + 7; };
+  const std::vector<int64_t> inline_results =
+      ParallelMap(nullptr, 500, body);
+  for (int threads : {0, 1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(ParallelMap(&pool, 500, body), inline_results)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMap, NullPoolAndEmptyRangeAreFine) {
+  EXPECT_EQ(ParallelMap(nullptr, 0, [](int64_t) { return 1; }).size(), 0u);
+  ThreadPool pool(2);
+  EXPECT_EQ(ParallelMap(&pool, 0, [](int64_t) { return 1; }).size(), 0u);
+  const std::vector<int> one = ParallelMap(nullptr, 1, [](int64_t) {
+    return 42;
+  });
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(ParallelMap, RethrowsLowestChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelMap(&pool, 100,
+                           [](int64_t i) -> int {
+                             if (i % 10 == 3) {
+                               throw std::invalid_argument("bad index");
+                             }
+                             return static_cast<int>(i);
+                           }),
+               std::invalid_argument);
+  // The pool is still usable afterwards.
+  EXPECT_EQ(ParallelMap(&pool, 3, [](int64_t i) { return i; }),
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(ParallelMap, WorksWithMoveOnlyCaptures) {
+  ThreadPool pool(2);
+  auto data = std::make_unique<int>(5);
+  const int* raw = data.get();
+  const std::vector<int> results =
+      ParallelMap(&pool, 10, [raw](int64_t i) {
+        return *raw + static_cast<int>(i);
+      });
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], 5 + i);
+  }
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+}  // namespace
+}  // namespace crowdjoin

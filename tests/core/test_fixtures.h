@@ -1,6 +1,10 @@
 #ifndef CROWDJOIN_TESTS_CORE_TEST_FIXTURES_H_
 #define CROWDJOIN_TESTS_CORE_TEST_FIXTURES_H_
 
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -63,6 +67,115 @@ inline RandomInstance MakeRandomInstance(uint64_t seed, int32_t num_objects,
   }
   return instance;
 }
+
+/// \brief Truth-backed oracle with mutex-guarded per-pair call counting.
+///
+/// The parallel labeler may call `GetLabel` from several pool workers at
+/// once, so all bookkeeping here is guarded — concurrent tests can assert
+/// *exact* oracle-call counts (total and per pair) without racing, and a
+/// TSan run of the suite stays clean.
+class ThreadSafeCountingOracle : public LabelOracle {
+ public:
+  explicit ThreadSafeCountingOracle(std::vector<int32_t> entity_of)
+      : truth_(std::move(entity_of)) {}
+
+  Label GetLabel(ObjectId a, ObjectId b) override {
+    ++num_queries_;  // atomic in the base class
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++calls_[Key(a, b)];
+    }
+    return truth_.Truth(a, b);
+  }
+
+  /// Number of GetLabel calls observed.
+  int64_t total_calls() const { return num_queries(); }
+
+  /// Number of GetLabel calls for the (unordered) pair (a, b).
+  int64_t calls(ObjectId a, ObjectId b) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = calls_.find(Key(a, b));
+    return it == calls_.end() ? 0 : it->second;
+  }
+
+  /// The largest per-pair call count — 1 means no pair was asked twice.
+  int64_t max_calls_per_pair() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t max_calls = 0;
+    for (const auto& [key, count] : calls_) {
+      if (count > max_calls) max_calls = count;
+    }
+    return max_calls;
+  }
+
+  const GroundTruthOracle& truth() const { return truth_; }
+
+ private:
+  static std::pair<ObjectId, ObjectId> Key(ObjectId a, ObjectId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  GroundTruthOracle truth_;
+  mutable std::mutex mu_;
+  std::map<std::pair<ObjectId, ObjectId>, int64_t> calls_;
+};
+
+/// \brief Scripted oracle: answers from a fixed (unordered) pair -> label
+/// map, `fallback` for everything unscripted.
+///
+/// Call counting is mutex-guarded so the mock can be shared across the
+/// parallel labeler's worker threads. Because every answer is a pure
+/// function of the pair, the mock is batch-safe; scripting *inconsistent*
+/// answers (violating transitivity) is the supported way to exercise
+/// conflict handling deterministically.
+class MockOracle : public LabelOracle {
+ public:
+  explicit MockOracle(
+      std::map<std::pair<ObjectId, ObjectId>, Label> answers = {},
+      Label fallback = Label::kNonMatching)
+      : answers_(std::move(answers)), fallback_(fallback) {}
+
+  // Copyable despite the mutex member, so tests can run many labeling
+  // passes from one scripted prototype.
+  MockOracle(const MockOracle& other)
+      : LabelOracle(other),
+        answers_(other.answers_),
+        fallback_(other.fallback_) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    calls_ = other.calls_;
+  }
+
+  void SetAnswer(ObjectId a, ObjectId b, Label label) {
+    answers_[Key(a, b)] = label;  // script setup, before any GetLabel runs
+  }
+
+  Label GetLabel(ObjectId a, ObjectId b) override {
+    ++num_queries_;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++calls_[Key(a, b)];
+    }
+    const auto it = answers_.find(Key(a, b));
+    return it == answers_.end() ? fallback_ : it->second;
+  }
+
+  /// Number of GetLabel calls for the (unordered) pair (a, b).
+  int64_t calls(ObjectId a, ObjectId b) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = calls_.find(Key(a, b));
+    return it == calls_.end() ? 0 : it->second;
+  }
+
+ private:
+  static std::pair<ObjectId, ObjectId> Key(ObjectId a, ObjectId b) {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+
+  std::map<std::pair<ObjectId, ObjectId>, Label> answers_;
+  Label fallback_;
+  mutable std::mutex mu_;
+  std::map<std::pair<ObjectId, ObjectId>, int64_t> calls_;
+};
 
 }  // namespace crowdjoin::testing_fixtures
 

@@ -64,6 +64,73 @@ TEST(Orchestrator, TransitiveCrowdsourcesFewerPairs) {
                 .num_crowdsourced_pairs);
 }
 
+TEST(Orchestrator, ParallelRoundsMatchTheRoundBasedLabeler) {
+  // The Parallel strategy publishes Algorithm 2's batches to the platform,
+  // so on Figure 3 it must crowdsource the same 6 pairs in 2 rounds and
+  // deduce the other 2 — and the majority votes keep the labels correct.
+  const CandidateSet pairs = Figure3Pairs();
+  GroundTruthOracle truth = Figure3Truth();
+  const AmtRunStats stats =
+      RunParallelAmt(pairs, IdentityOrder(pairs.size()), SmallConfig(),
+                     truth)
+          .value();
+  EXPECT_EQ(stats.num_crowdsourced_pairs, 6);
+  EXPECT_EQ(stats.num_deduced_pairs, 2);
+  EXPECT_GT(stats.num_hits, 0);
+  const QualityMetrics quality =
+      ComputeQuality(pairs, stats.final_labels, truth);
+  EXPECT_DOUBLE_EQ(quality.f_measure, 1.0);
+}
+
+TEST(Orchestrator, ParallelIsFasterThanNonParallelWallClock) {
+  const auto instance = MakeRandomInstance(24, 25, 5, 90);
+  GroundTruthOracle truth(instance.entity_of);
+  const auto order = IdentityOrder(instance.pairs.size());
+  const CrowdConfig config = SmallConfig();
+  const AmtRunStats parallel =
+      RunParallelAmt(instance.pairs, order, config, truth).value();
+  const AmtRunStats serial =
+      RunNonParallelAmt(instance.pairs, order, config, truth).value();
+  EXPECT_GT(serial.total_hours, parallel.total_hours);
+  const QualityMetrics quality =
+      ComputeQuality(instance.pairs, parallel.final_labels, truth);
+  EXPECT_DOUBLE_EQ(quality.f_measure, 1.0);
+}
+
+TEST(Orchestrator, LocalParallelLabelingUsesConfigThreads) {
+  // The latency-free campaign honors CrowdConfig::num_threads and, by the
+  // labeler's contract, yields an identical result at every value — with
+  // and without config-driven noise.
+  const auto instance = MakeRandomInstance(25, 30, 6, 100);
+  GroundTruthOracle truth(instance.entity_of);
+  const auto order = IdentityOrder(instance.pairs.size());
+  for (double error_rate : {0.0, 0.2}) {
+    CrowdConfig config = SmallConfig();
+    config.false_negative_rate = error_rate;
+    config.false_positive_rate = error_rate;
+    config.num_threads = 1;
+    const LabelingResult baseline =
+        RunLocalParallelLabeling(instance.pairs, order, config, truth)
+            .value();
+    for (int threads : {2, 8}) {
+      config.num_threads = threads;
+      const LabelingResult threaded =
+          RunLocalParallelLabeling(instance.pairs, order, config, truth)
+              .value();
+      EXPECT_TRUE(threaded == baseline)
+          << "error_rate=" << error_rate << " num_threads=" << threads;
+    }
+    if (error_rate == 0.0) {
+      std::vector<Label> labels;
+      for (const auto& outcome : baseline.outcomes) {
+        labels.push_back(outcome.label);
+      }
+      EXPECT_DOUBLE_EQ(
+          ComputeQuality(instance.pairs, labels, truth).f_measure, 1.0);
+    }
+  }
+}
+
 TEST(Orchestrator, NonParallelSameHitsSlowerClock) {
   const auto instance = MakeRandomInstance(21, 25, 5, 90);
   GroundTruthOracle truth(instance.entity_of);
@@ -119,6 +186,10 @@ TEST(Orchestrator, EmptyCandidateSets) {
       RunTransitiveAmt({}, {}, SmallConfig(), truth).value();
   EXPECT_EQ(transitive.num_hits, 0);
   EXPECT_EQ(transitive.num_crowdsourced_pairs, 0);
+  const AmtRunStats parallel =
+      RunParallelAmt({}, {}, SmallConfig(), truth).value();
+  EXPECT_EQ(parallel.num_hits, 0);
+  EXPECT_EQ(parallel.num_crowdsourced_pairs, 0);
 }
 
 }  // namespace

@@ -59,6 +59,63 @@ TEST(EndToEnd, PaperPipelinePerfectOracleIsLossless) {
   EXPECT_DOUBLE_EQ(quality.f_measure, 1.0);
 }
 
+TEST(EndToEnd, PaperPipelineThreadedLabelingIsIdenticalAndLossless) {
+  // The full machine -> order -> label pipeline with the labeling fanned
+  // over a worker pool: byte-identical to the single-threaded run, and
+  // still lossless under correct answers.
+  Dataset dataset;
+  const CandidateSet candidates = SmallPaperCandidates(&dataset);
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  const auto order =
+      MakeLabelingOrder(candidates, OrderKind::kExpected, &truth, nullptr)
+          .value();
+
+  GroundTruthOracle oracle_single = truth;
+  const LabelingResult single =
+      ParallelLabeler(ConflictPolicy::kKeepFirst, /*num_threads=*/1)
+          .Run(candidates, order, oracle_single)
+          .value();
+  for (int num_threads : {2, 4, 8}) {
+    GroundTruthOracle oracle = truth;
+    const LabelingResult threaded =
+        ParallelLabeler(ConflictPolicy::kKeepFirst, num_threads)
+            .Run(candidates, order, oracle)
+            .value();
+    ASSERT_TRUE(threaded == single) << "num_threads=" << num_threads;
+    EXPECT_EQ(oracle.num_queries(), single.num_crowdsourced);
+  }
+
+  std::vector<Label> labels;
+  for (const auto& outcome : single.outcomes) labels.push_back(outcome.label);
+  EXPECT_DOUBLE_EQ(ComputeQuality(candidates, labels, truth).f_measure, 1.0);
+}
+
+TEST(EndToEnd, RoundBasedParallelAmtCampaign) {
+  // The round-based (Algorithm 2) publication strategy on the simulated
+  // platform: correct final labels, real transitivity savings, and fewer
+  // HITs than the publish-everything baseline.
+  Dataset dataset;
+  const CandidateSet candidates = SmallPaperCandidates(&dataset);
+  GroundTruthOracle truth = MakeGroundTruthOracle(dataset);
+  const auto order =
+      MakeLabelingOrder(candidates, OrderKind::kExpected, &truth, nullptr)
+          .value();
+  CrowdConfig config;
+  config.pairs_per_hit = 10;
+  config.num_workers = 10;
+  config.seed = 23;
+  const AmtRunStats parallel =
+      RunParallelAmt(candidates, order, config, truth).value();
+  const AmtRunStats baseline =
+      RunNonTransitiveAmt(candidates, config, truth).value();
+  EXPECT_LT(parallel.num_hits, baseline.num_hits);
+  EXPECT_GT(parallel.num_deduced_pairs, 0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(parallel.final_labels[i],
+              truth.Truth(candidates[i].a, candidates[i].b));
+  }
+}
+
 TEST(EndToEnd, ProductPipelineBipartite) {
   ProductDatasetConfig config;
   config.clusters.total_records = 300;
