@@ -9,6 +9,8 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "simjoin/sharded_join.h"
 #include "simjoin/similarity_join.h"
 #include "simjoin/token_dictionary.h"
 
@@ -67,6 +69,33 @@ void BM_BruteForceSelfJoin(benchmark::State& state) {
                           static_cast<int64_t>(num_docs));
 }
 BENCHMARK(BM_BruteForceSelfJoin)->Args({1000, 5})->Args({1000, 8});
+
+// The sharded parallel join at {num_docs, threshold*10, threads}: ingest
+// happens once, each iteration re-runs the prepare + probe phases over a
+// persistent pool (byte-identical output to BM_PrefixFilterSelfJoin's).
+void BM_ShardedSelfJoin(benchmark::State& state) {
+  const auto num_docs = static_cast<size_t>(state.range(0));
+  const double threshold = static_cast<double>(state.range(1)) / 10.0;
+  const int num_threads = static_cast<int>(state.range(2));
+  Corpus corpus = MakeCorpus(num_docs, 12, 4096);
+  ShardedSelfJoiner joiner(/*num_shards=*/16);
+  for (const auto& doc : corpus.docs) joiner.Add(doc);
+  ThreadPool pool(num_threads);
+  ThreadPool* pool_ptr = pool.num_threads() > 0 ? &pool : nullptr;
+  for (auto _ : state) {
+    auto result = joiner.Finish(corpus.dictionary, threshold, pool_ptr);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(num_docs));
+}
+BENCHMARK(BM_ShardedSelfJoin)
+    ->Args({4000, 5, 0})
+    ->Args({4000, 5, 2})
+    ->Args({4000, 5, 4})
+    ->Args({4000, 5, 8})
+    ->Args({4000, 8, 0})
+    ->Args({4000, 8, 4});
 
 }  // namespace
 }  // namespace crowdjoin

@@ -1,0 +1,127 @@
+// Scale sweep for the streaming scale subsystem: streaming datagen ->
+// sharded parallel similarity join -> (optionally) transitive labeling,
+// at scale factors 1x (paper scale, ~1k records) through 1000x (~1M
+// records), with configurable shard and thread counts.
+//
+// Reports per-phase wall clock, records/sec through the machine step, and
+// peak RSS. Used to record the BASELINES.md scale table:
+//
+//   for sf in 1 10 100 1000; do
+//     for t in 1 2 4 8; do ./scale_sweep --scale=$sf --threads=$t; done
+//   done
+//
+// --campaign=0 skips the labeling phase (pure datagen + join throughput);
+// --dataset=product sweeps the bipartite stream instead of the paper one.
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "crowd/orchestrator.h"
+#include "datagen/streaming_generator.h"
+#include "simjoin/candidate_generator.h"
+
+namespace {
+
+long PeakRssMiB() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss / 1024;  // ru_maxrss is KiB on Linux
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crowdjoin;
+  const bench::Args args(argc, argv);
+  const auto scale = static_cast<int32_t>(args.GetUint64("scale", 1));
+  const int threads = static_cast<int>(args.GetUint64("threads", 1));
+  const int shards = static_cast<int>(args.GetUint64("shards", 16));
+  const double threshold = args.GetDouble("threshold", 0.5);
+  const bool campaign = args.GetUint64("campaign", 1) != 0;
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const bool product = HasFlag(argc, argv, "--dataset=product");
+
+  std::printf(
+      "=== scale_sweep: dataset=%s scale=%d threads=%d shards=%d "
+      "threshold=%.2f ===\n",
+      product ? "product" : "paper", scale, threads, shards, threshold);
+
+  std::unique_ptr<RecordSource> source;
+  if (product) {
+    ProductDatasetConfig config;
+    config.seed = seed;
+    source = std::make_unique<StreamingProductSource>(config, scale);
+  } else {
+    PaperDatasetConfig config;
+    config.seed = seed;
+    source = std::make_unique<StreamingPaperSource>(config, scale);
+  }
+  const int64_t total = source->meta().total_records;
+
+  // Phase 0: raw generator throughput (stream drained, records discarded).
+  {
+    WallTimer timer;
+    StreamedRecord rec;
+    int64_t count = 0;
+    source->Reset();
+    while (source->Next(&rec)) ++count;
+    bench::CheckOk(source->status());
+    const double secs = timer.ElapsedSeconds();
+    std::printf("datagen   : %10lld records  %8.2f ms  %10.0f rec/s\n",
+                static_cast<long long>(count), secs * 1e3,
+                static_cast<double>(count) / secs);
+  }
+
+  // Phase 1: machine step — streaming ingest + sharded parallel join.
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = threshold;
+  options.min_likelihood = threshold;
+  ShardedJoinOptions sharding;
+  sharding.num_threads = threads;
+  sharding.num_shards = shards;
+  std::vector<int32_t> entity_of;
+  WallTimer join_timer;
+  const CandidateSet candidates = bench::Unwrap(GenerateCandidatesStreaming(
+      *source, /*scorer=*/nullptr, options, sharding, &entity_of));
+  {
+    const double secs = join_timer.ElapsedSeconds();
+    std::printf("ingest+join: %9lld records  %8.2f ms  %10.0f rec/s  "
+                "%lld candidates\n",
+                static_cast<long long>(total), secs * 1e3,
+                static_cast<double>(total) / secs,
+                static_cast<long long>(candidates.size()));
+  }
+
+  // Phase 2: transitive labeling (the full campaign).
+  if (campaign) {
+    const GroundTruthOracle truth(entity_of);
+    CrowdConfig crowd;
+    crowd.num_threads = threads;
+    WallTimer label_timer;
+    const auto order = bench::Unwrap(MakeLabelingOrder(
+        candidates, OrderKind::kExpected, &truth, nullptr));
+    const LabelingResult labeling = bench::Unwrap(
+        RunLocalParallelLabeling(candidates, order, crowd, truth));
+    const double secs = label_timer.ElapsedSeconds();
+    std::printf("labeling  : %10lld pairs    %8.2f ms  "
+                "(%lld crowdsourced, %lld deduced)\n",
+                static_cast<long long>(candidates.size()), secs * 1e3,
+                static_cast<long long>(labeling.num_crowdsourced),
+                static_cast<long long>(labeling.num_deduced));
+  }
+
+  std::printf("peak RSS  : %ld MiB\n", PeakRssMiB());
+  return 0;
+}

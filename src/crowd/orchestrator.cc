@@ -197,6 +197,28 @@ Result<LabelingResult> RunLocalParallelLabeling(
   return labeler.Run(pairs, order, oracle);
 }
 
+Result<StreamingCampaignStats> RunStreamingCampaign(
+    RecordSource& source, const RecordScorer* scorer,
+    const StreamingCampaignConfig& config) {
+  StreamingCampaignStats stats;
+  CJ_ASSIGN_OR_RETURN(
+      stats.candidates,
+      GenerateCandidatesStreaming(source, scorer, config.candidates,
+                                  config.sharding, &stats.entity_of));
+  stats.num_records = static_cast<int64_t>(stats.entity_of.size());
+  stats.num_candidates = static_cast<int64_t>(stats.candidates.size());
+
+  const GroundTruthOracle truth(stats.entity_of);
+  Rng order_rng(config.crowd.seed);
+  CJ_ASSIGN_OR_RETURN(
+      const std::vector<int32_t> order,
+      MakeLabelingOrder(stats.candidates, config.order, &truth, &order_rng));
+  CJ_ASSIGN_OR_RETURN(
+      stats.labeling,
+      RunLocalParallelLabeling(stats.candidates, order, config.crowd, truth));
+  return stats;
+}
+
 Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
                                       const std::vector<int32_t>& order,
                                       const CrowdConfig& config,

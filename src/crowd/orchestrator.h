@@ -6,10 +6,14 @@
 
 #include "common/result.h"
 #include "core/candidate.h"
+#include "core/labeling_order.h"
 #include "core/labeling_result.h"
 #include "core/oracle.h"
 #include "crowd/config.h"
+#include "datagen/record_source.h"
 #include "graph/label.h"
+#include "simjoin/candidate_generator.h"
+#include "text/record_similarity.h"
 
 namespace crowdjoin {
 
@@ -79,6 +83,44 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
 Result<LabelingResult> RunLocalParallelLabeling(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     const CrowdConfig& config, const GroundTruthOracle& truth);
+
+/// Configuration of a streaming campaign (see `RunStreamingCampaign`).
+struct StreamingCampaignConfig {
+  /// Machine-step knobs (join threshold, likelihood cut, noise).
+  CandidateGeneratorOptions candidates;
+  /// Shard count and worker threads for the sharded similarity join.
+  ShardedJoinOptions sharding;
+  /// Labeling campaign knobs: `num_threads` fans the oracle calls,
+  /// error rates select the noisy oracle, `seed` drives both noise and
+  /// the random order (when chosen).
+  CrowdConfig crowd;
+  /// Labeling order; the default is the paper's likelihood heuristic.
+  OrderKind order = OrderKind::kExpected;
+};
+
+/// Outcome of a streaming campaign.
+struct StreamingCampaignStats {
+  int64_t num_records = 0;
+  int64_t num_candidates = 0;
+  /// The machine step's candidate pairs (ids reference stream positions).
+  CandidateSet candidates;
+  /// Ground truth captured while streaming, indexed by record position.
+  std::vector<int32_t> entity_of;
+  /// Full labeling outcome (crowdsourced + deduced counts and labels).
+  LabelingResult labeling;
+};
+
+/// \brief End-to-end campaign over a `RecordSource`: stream -> sharded
+/// parallel similarity join -> transitive labeling — the scale path that
+/// runs 100k-1M-record workloads without ever materializing a `Dataset`.
+///
+/// `scorer` may be null (see `GenerateCandidatesStreaming`); that is the
+/// memory-lean configuration used at the largest scale factors. Ground
+/// truth is captured from the stream, so the oracle (exact, or noisy per
+/// `config.crowd` error rates) needs no materialized dataset either.
+Result<StreamingCampaignStats> RunStreamingCampaign(
+    RecordSource& source, const RecordScorer* scorer,
+    const StreamingCampaignConfig& config);
 
 }  // namespace crowdjoin
 

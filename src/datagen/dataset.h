@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/oracle.h"
@@ -25,12 +26,40 @@ struct Dataset {
   bool bipartite = false;
   std::vector<uint8_t> side_of;  ///< empty unless bipartite
 
-  /// Number of records on the given side (bipartite only).
+  /// Appends one record with its ground truth (self-join datasets).
+  void AddRecord(Record record, int32_t entity) {
+    records.push_back(std::move(record));
+    entity_of.push_back(entity);
+  }
+
+  /// Appends one record with its ground truth and catalog side (bipartite
+  /// datasets). Keeps the per-side counts cached so `SideCount` is O(1).
+  void AddRecord(Record record, int32_t entity, uint8_t side) {
+    records.push_back(std::move(record));
+    entity_of.push_back(entity);
+    side_of.push_back(side);
+    if (side < 2) ++cached_side_counts_[side];
+  }
+
+  /// Number of records on the given side (bipartite only). O(1) for
+  /// datasets built through `AddRecord`; falls back to a scan for
+  /// hand-assembled ones (where `side_of` was filled directly). The two
+  /// styles must not be mixed: rewriting `side_of` elements in place on an
+  /// `AddRecord`-built dataset leaves the cached counts stale (the guard
+  /// below only detects appends/removals) — append through `AddRecord` or
+  /// assemble `side_of` wholesale, never both.
   int64_t SideCount(uint8_t side) const {
+    if (side < 2 && cached_side_counts_[0] + cached_side_counts_[1] ==
+                        static_cast<int64_t>(side_of.size())) {
+      return cached_side_counts_[side];
+    }
     int64_t count = 0;
     for (uint8_t s : side_of) count += (s == side) ? 1 : 0;
     return count;
   }
+
+ private:
+  int64_t cached_side_counts_[2] = {0, 0};
 };
 
 /// Cluster size -> number of ground-truth clusters of that size

@@ -1,167 +1,26 @@
 #include "datagen/paper_dataset.h"
 
-#include <string>
-#include <vector>
-
-#include "common/macros.h"
-#include "common/string_util.h"
-#include "datagen/wordlists.h"
+#include "datagen/streaming_generator.h"
 
 namespace crowdjoin {
 
+// Schema field indexes for the Paper dataset (generation itself lives in
+// streaming_generator.cc; this file keeps the batch entry point and the
+// scorer).
 namespace {
-
-// Schema field indexes for the Paper dataset.
 constexpr int kAuthor = 0;
 constexpr int kTitle = 1;
 constexpr int kVenue = 2;
 constexpr int kDate = 3;
 constexpr int kPages = 4;
-
-// A pronounceable rare token (consonant-vowel alternation) used to give
-// each publication title a discriminative word, the way real titles carry
-// system names and coined terms.
-std::string RareToken(Rng& rng) {
-  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
-  static constexpr char kVowels[] = "aeiou";
-  const size_t length = 5 + rng.Index(4);
-  std::string token;
-  token.reserve(length);
-  for (size_t i = 0; i < length; ++i) {
-    if (i % 2 == 0) {
-      token += kConsonants[rng.Index(sizeof(kConsonants) - 1)];
-    } else {
-      token += kVowels[rng.Index(sizeof(kVowels) - 1)];
-    }
-  }
-  return token;
-}
-
-struct PaperEntity {
-  std::vector<std::string> authors;  // "first last"
-  std::string title;
-  size_t venue_index = 0;
-  int year = 0;
-  int first_page = 0;
-  int last_page = 0;
-};
-
-PaperEntity MakeEntity(Rng& rng, const ZipfSampler& title_sampler) {
-  const auto& first_names = wordlists::FirstNames();
-  const auto& last_names = wordlists::LastNames();
-  const auto& title_words = wordlists::TitleWords();
-
-  PaperEntity entity;
-  const size_t num_authors = 1 + rng.Index(3);
-  for (size_t i = 0; i < num_authors; ++i) {
-    std::string name(first_names[rng.Index(first_names.size())]);
-    name += ' ';
-    name += last_names[rng.Index(last_names.size())];
-    entity.authors.push_back(std::move(name));
-  }
-  const size_t title_length = 5 + rng.Index(5);
-  std::vector<std::string> words;
-  for (size_t i = 0; i < title_length; ++i) {
-    // Zipf-weighted draw: common words recur across entities, which gives
-    // non-matching pairs graded, non-zero similarity.
-    const size_t w = static_cast<size_t>(title_sampler.Sample(rng)) - 1;
-    words.emplace_back(title_words[w]);
-  }
-  if (rng.Bernoulli(0.8)) {
-    words.insert(words.begin() + static_cast<std::ptrdiff_t>(
-                                     rng.Index(words.size() + 1)),
-                 RareToken(rng));
-  }
-  entity.title = Join(words, " ");
-  entity.venue_index = rng.Index(wordlists::Venues().size());
-  entity.year = 1988 + static_cast<int>(rng.Index(17));
-  entity.first_page = 1 + static_cast<int>(rng.Index(500));
-  entity.last_page = entity.first_page + 8 + static_cast<int>(rng.Index(20));
-  return entity;
-}
-
-Record MakeRecord(const PaperEntity& entity, ObjectId id, bool canonical,
-                  const PaperDatasetConfig& config, Corruptor& corruptor,
-                  Rng& rng) {
-  Record record;
-  record.id = id;
-  record.fields.resize(5);
-
-  // Author field.
-  std::vector<std::string> authors = entity.authors;
-  if (!canonical) {
-    if (authors.size() > 1 && rng.Bernoulli(config.author_drop_prob)) {
-      authors.erase(authors.begin() +
-                    static_cast<std::ptrdiff_t>(rng.Index(authors.size())));
-    }
-    for (auto& author : authors) {
-      if (rng.Bernoulli(config.author_initial_prob)) {
-        author = corruptor.InitialForm(author);
-      }
-    }
-  }
-  record.fields[kAuthor] = Join(authors, " and ");
-
-  // Title field.
-  record.fields[kTitle] =
-      canonical ? entity.title : corruptor.CorruptText(entity.title);
-
-  // Venue field: full name or abbreviation.
-  const auto& venue = wordlists::Venues()[entity.venue_index];
-  const bool abbreviate = !canonical && rng.Bernoulli(config.venue_abbrev_prob);
-  record.fields[kVenue] =
-      std::string(abbreviate ? venue.second : venue.first);
-  if (!canonical && rng.Bernoulli(0.15)) {
-    record.fields[kVenue] = corruptor.CorruptText(record.fields[kVenue]);
-  }
-
-  // Date field.
-  if (canonical || !rng.Bernoulli(config.year_missing_prob)) {
-    int year = entity.year;
-    if (!canonical && rng.Bernoulli(config.year_off_by_one_prob)) {
-      year += rng.Bernoulli(0.5) ? 1 : -1;
-    }
-    record.fields[kDate] = StrFormat("%d", year);
-  }
-
-  // Pages field.
-  if (canonical || !rng.Bernoulli(config.pages_missing_prob)) {
-    if (!canonical && rng.Bernoulli(0.3)) {
-      record.fields[kPages] =
-          StrFormat("pages %d %d", entity.first_page, entity.last_page);
-    } else {
-      record.fields[kPages] =
-          StrFormat("%d-%d", entity.first_page, entity.last_page);
-    }
-  }
-  return record;
-}
-
 }  // namespace
 
 Result<Dataset> GeneratePaperDataset(const PaperDatasetConfig& config) {
-  Rng rng(config.seed);
-  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> cluster_sizes,
-                      SamplePowerLawClusterSizes(config.clusters, rng));
-
-  Dataset dataset;
-  dataset.name = "paper";
-  dataset.schema.field_names = {"author", "title", "venue", "date", "pages"};
-  Corruptor corruptor(config.corruption, &rng);
-  const ZipfSampler title_sampler(wordlists::TitleWords().size(), 1.05);
-
-  ObjectId next_id = 0;
-  for (size_t entity_id = 0; entity_id < cluster_sizes.size(); ++entity_id) {
-    const PaperEntity entity = MakeEntity(rng, title_sampler);
-    const int32_t size = cluster_sizes[entity_id];
-    for (int32_t r = 0; r < size; ++r) {
-      dataset.records.push_back(MakeRecord(entity, next_id, /*canonical=*/r == 0,
-                                           config, corruptor, rng));
-      dataset.entity_of.push_back(static_cast<int32_t>(entity_id));
-      ++next_id;
-    }
-  }
-  return dataset;
+  // Drain the 1x stream: the streaming generator is the single source of
+  // truth for the record sequence, so batch and streaming paths can never
+  // diverge.
+  StreamingPaperSource source(config, /*scale_factor=*/1);
+  return MaterializeDataset(source);
 }
 
 RecordScorer MakePaperScorer() {

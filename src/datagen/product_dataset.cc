@@ -1,149 +1,23 @@
 #include "datagen/product_dataset.h"
 
-#include <string>
-#include <vector>
-
-#include "common/macros.h"
-#include "common/string_util.h"
-#include "datagen/wordlists.h"
+#include "datagen/streaming_generator.h"
 
 namespace crowdjoin {
 
+// Schema field indexes for the Product dataset (generation itself lives in
+// streaming_generator.cc; this file keeps the batch entry point and the
+// scorer).
 namespace {
-
-// Schema field indexes for the Product dataset.
 constexpr int kName = 0;
 constexpr int kPrice = 1;
-
-struct ProductEntity {
-  std::string brand;
-  std::string model;  // e.g. "kx-3200b"
-  std::vector<std::string> nouns;
-  std::vector<std::string> adjectives;
-  double price = 0.0;
-};
-
-std::string MakeModelCode(Rng& rng) {
-  static constexpr char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
-  std::string code;
-  const size_t prefix_len = 2 + rng.Index(2);
-  for (size_t i = 0; i < prefix_len; ++i) {
-    code += kLetters[rng.Index(26)];
-  }
-  code += '-';
-  const size_t digits = 2 + rng.Index(3);
-  for (size_t i = 0; i < digits; ++i) {
-    code += static_cast<char>('0' + rng.Index(10));
-  }
-  if (rng.Bernoulli(0.4)) code += kLetters[rng.Index(26)];
-  return code;
-}
-
-ProductEntity MakeEntity(Rng& rng) {
-  const auto& brands = wordlists::Brands();
-  const auto& nouns = wordlists::ProductNouns();
-  const auto& adjectives = wordlists::ProductAdjectives();
-
-  ProductEntity entity;
-  entity.brand = std::string(brands[rng.Index(brands.size())]);
-  entity.model = MakeModelCode(rng);
-  const size_t num_nouns = 1 + rng.Index(2);
-  for (size_t i = 0; i < num_nouns; ++i) {
-    entity.nouns.emplace_back(nouns[rng.Index(nouns.size())]);
-  }
-  const size_t num_adjectives = 2 + rng.Index(3);
-  for (size_t i = 0; i < num_adjectives; ++i) {
-    entity.adjectives.emplace_back(adjectives[rng.Index(adjectives.size())]);
-  }
-  entity.price = 10.0 + rng.UniformDouble() * 1990.0;
-  return entity;
-}
-
-Record MakeRecord(const ProductEntity& entity, ObjectId id, uint8_t side,
-                  bool canonical, const ProductDatasetConfig& config,
-                  Corruptor& corruptor, Rng& rng) {
-  Record record;
-  record.id = id;
-  record.fields.resize(2);
-
-  std::string model = entity.model;
-  bool include_model = true;
-  if (!canonical) {
-    if (rng.Bernoulli(config.drop_model_prob)) include_model = false;
-    if (include_model && rng.Bernoulli(config.reformat_model_prob)) {
-      // Strip the dash so the code tokenizes as one word instead of two.
-      std::string compact;
-      for (char c : model) {
-        if (c != '-') compact += c;
-      }
-      model = compact;
-    }
-  }
-
-  // Retailer-specific word order: side 0 leads with brand + model; side 1
-  // leads with the description.
-  std::vector<std::string> words;
-  if (side == 0) {
-    words.push_back(entity.brand);
-    if (include_model) words.push_back(model);
-    words.insert(words.end(), entity.adjectives.begin(),
-                 entity.adjectives.end());
-    words.insert(words.end(), entity.nouns.begin(), entity.nouns.end());
-  } else {
-    words.insert(words.end(), entity.adjectives.begin(),
-                 entity.adjectives.end());
-    words.insert(words.end(), entity.nouns.begin(), entity.nouns.end());
-    words.push_back(entity.brand);
-    if (include_model) words.push_back(model);
-  }
-  std::string name = Join(words, " ");
-  if (!canonical) name = corruptor.CorruptText(name);
-  record.fields[kName] = name;
-
-  if (!rng.Bernoulli(config.price_missing_prob)) {
-    const double price =
-        canonical ? entity.price
-                  : corruptor.JitterNumber(entity.price, config.price_jitter);
-    record.fields[kPrice] = StrFormat("%.2f", price);
-  }
-  return record;
-}
-
 }  // namespace
 
 Result<Dataset> GenerateProductDataset(const ProductDatasetConfig& config) {
-  Rng rng(config.seed);
-  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> cluster_sizes,
-                      SampleSmallClusterSizes(config.clusters, rng));
-
-  Dataset dataset;
-  dataset.name = "product";
-  dataset.bipartite = true;
-  dataset.schema.field_names = {"name", "price"};
-  Corruptor corruptor(config.corruption, &rng);
-
-  ObjectId next_id = 0;
-  for (size_t entity_id = 0; entity_id < cluster_sizes.size(); ++entity_id) {
-    const ProductEntity entity = MakeEntity(rng);
-    const int32_t size = cluster_sizes[entity_id];
-    for (int32_t r = 0; r < size; ++r) {
-      // Singleton clusters land on a random side; larger clusters alternate
-      // so every multi-record entity spans both catalogs.
-      uint8_t side = 0;
-      if (size == 1) {
-        side = rng.Bernoulli(0.5) ? 1 : 0;
-      } else {
-        side = static_cast<uint8_t>(r % 2);
-      }
-      dataset.records.push_back(MakeRecord(entity, next_id, side,
-                                           /*canonical=*/r == 0, config,
-                                           corruptor, rng));
-      dataset.entity_of.push_back(static_cast<int32_t>(entity_id));
-      dataset.side_of.push_back(side);
-      ++next_id;
-    }
-  }
-  return dataset;
+  // Drain the 1x stream: the streaming generator is the single source of
+  // truth for the record sequence, so batch and streaming paths can never
+  // diverge.
+  StreamingProductSource source(config, /*scale_factor=*/1);
+  return MaterializeDataset(source);
 }
 
 RecordScorer MakeProductScorer() {

@@ -1,0 +1,50 @@
+#include "datagen/record_source.h"
+
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+DatasetRecordSource::DatasetRecordSource(const Dataset* dataset)
+    : dataset_(dataset) {
+  meta_.name = dataset->name;
+  meta_.schema = dataset->schema;
+  meta_.bipartite = dataset->bipartite;
+  meta_.total_records = static_cast<int64_t>(dataset->records.size());
+}
+
+bool DatasetRecordSource::Next(StreamedRecord* out) {
+  if (pos_ >= dataset_->records.size()) return false;
+  out->record = dataset_->records[pos_];
+  out->entity = dataset_->entity_of[pos_];
+  out->side = dataset_->bipartite ? dataset_->side_of[pos_] : uint8_t{0};
+  ++pos_;
+  return true;
+}
+
+Result<Dataset> MaterializeDataset(RecordSource& source) {
+  source.Reset();
+  Dataset dataset;
+  dataset.name = source.meta().name;
+  dataset.schema = source.meta().schema;
+  dataset.bipartite = source.meta().bipartite;
+  const auto total = static_cast<size_t>(source.meta().total_records);
+  dataset.records.reserve(total);
+  dataset.entity_of.reserve(total);
+  if (dataset.bipartite) dataset.side_of.reserve(total);
+
+  StreamedRecord streamed;
+  while (source.Next(&streamed)) {
+    if (dataset.bipartite) {
+      dataset.AddRecord(std::move(streamed.record), streamed.entity,
+                        streamed.side);
+    } else {
+      dataset.AddRecord(std::move(streamed.record), streamed.entity);
+    }
+  }
+  CJ_RETURN_IF_ERROR(source.status());
+  return dataset;
+}
+
+}  // namespace crowdjoin

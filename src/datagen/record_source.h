@@ -1,0 +1,91 @@
+#ifndef CROWDJOIN_DATAGEN_RECORD_SOURCE_H_
+#define CROWDJOIN_DATAGEN_RECORD_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "datagen/dataset.h"
+#include "text/record.h"
+
+namespace crowdjoin {
+
+/// Stream-level metadata a `RecordSource` exposes up front, so consumers
+/// can size buffers and pick join shapes without draining the stream.
+struct StreamMeta {
+  std::string name;
+  Schema schema;
+  bool bipartite = false;
+  /// Exact number of records the stream yields from a fresh `Reset`.
+  int64_t total_records = 0;
+};
+
+/// One streamed record together with its ground truth.
+struct StreamedRecord {
+  Record record;
+  int32_t entity = 0;  ///< true entity id; equal ids = matching records
+  uint8_t side = 0;    ///< catalog side (always 0 for self-join streams)
+};
+
+/// \brief Pull-based record stream: the scale-independent way to feed the
+/// machine step.
+///
+/// A source yields records one at a time with their ground truth, holding
+/// only O(current cluster) state, so million-record workloads never
+/// materialize a whole `Dataset`. Ids are dense stream positions
+/// (`record.id == number of records yielded before it`), which is what the
+/// candidate generator and cluster graph expect.
+///
+/// Usage:
+///
+///     StreamedRecord rec;
+///     while (source.Next(&rec)) Consume(rec);
+///     CJ_RETURN_IF_ERROR(source.status());
+///
+/// `Next` returns false both at end-of-stream and on error; `status()`
+/// distinguishes the two. Sources are deterministic: a given configuration
+/// yields the identical record sequence on every fresh source or `Reset`.
+class RecordSource {
+ public:
+  virtual ~RecordSource() = default;
+
+  virtual const StreamMeta& meta() const = 0;
+
+  /// Yields the next record into `*out`. Returns false when the stream is
+  /// exhausted or has failed (see `status()`).
+  virtual bool Next(StreamedRecord* out) = 0;
+
+  /// Rewinds to the beginning of the (identical) stream.
+  virtual void Reset() = 0;
+
+  /// OK unless the stream terminated due to an error.
+  virtual Status status() const { return Status::OK(); }
+};
+
+/// \brief Adapter presenting an in-memory `Dataset` as a `RecordSource`,
+/// so every streaming consumer also works on the materialized paper-scale
+/// datasets (and equivalence tests can compare the two paths directly).
+class DatasetRecordSource : public RecordSource {
+ public:
+  /// `dataset` must outlive the source.
+  explicit DatasetRecordSource(const Dataset* dataset);
+
+  const StreamMeta& meta() const override { return meta_; }
+  bool Next(StreamedRecord* out) override;
+  void Reset() override { pos_ = 0; }
+
+ private:
+  const Dataset* dataset_;
+  StreamMeta meta_;
+  size_t pos_ = 0;
+};
+
+/// Drains `source` (from a fresh `Reset`) into an in-memory `Dataset`.
+/// The inverse of `DatasetRecordSource`; the batch generators are
+/// implemented as `Materialize(streaming source)`, which is what makes the
+/// 1x stream byte-identical to the materialized dataset by construction.
+Result<Dataset> MaterializeDataset(RecordSource& source);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_DATAGEN_RECORD_SOURCE_H_

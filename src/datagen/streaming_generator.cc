@@ -1,0 +1,477 @@
+#include "datagen/streaming_generator.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/cluster_distribution.h"
+#include "datagen/perturb.h"
+#include "datagen/wordlists.h"
+
+namespace crowdjoin {
+
+uint64_t BlockSeed(uint64_t base_seed, int32_t block) {
+  if (block == 0) return base_seed;
+  uint64_t state =
+      base_seed ^ (0x9E3779B97F4A7C15ull * static_cast<uint64_t>(block));
+  return SplitMix64(state);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Paper entity/record construction. This is the single home of the
+// generation logic: the batch GeneratePaperDataset drains a 1x stream, so
+// the RNG consumption order below defines both paths.
+// ---------------------------------------------------------------------------
+
+// Schema field indexes for the Paper dataset.
+constexpr int kAuthor = 0;
+constexpr int kTitle = 1;
+constexpr int kVenue = 2;
+constexpr int kDate = 3;
+constexpr int kPages = 4;
+
+// A pronounceable rare token (consonant-vowel alternation) used to give
+// each publication title a discriminative word, the way real titles carry
+// system names and coined terms.
+std::string RareToken(Rng& rng) {
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwz";
+  static constexpr char kVowels[] = "aeiou";
+  const size_t length = 5 + rng.Index(4);
+  std::string token;
+  token.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    if (i % 2 == 0) {
+      token += kConsonants[rng.Index(sizeof(kConsonants) - 1)];
+    } else {
+      token += kVowels[rng.Index(sizeof(kVowels) - 1)];
+    }
+  }
+  return token;
+}
+
+struct PaperEntity {
+  std::vector<std::string> authors;  // "first last"
+  std::string title;
+  size_t venue_index = 0;
+  int year = 0;
+  int first_page = 0;
+  int last_page = 0;
+};
+
+PaperEntity MakePaperEntity(Rng& rng, const ZipfSampler& title_sampler) {
+  const auto& first_names = wordlists::FirstNames();
+  const auto& last_names = wordlists::LastNames();
+  const auto& title_words = wordlists::TitleWords();
+
+  PaperEntity entity;
+  const size_t num_authors = 1 + rng.Index(3);
+  for (size_t i = 0; i < num_authors; ++i) {
+    std::string name(first_names[rng.Index(first_names.size())]);
+    name += ' ';
+    name += last_names[rng.Index(last_names.size())];
+    entity.authors.push_back(std::move(name));
+  }
+  const size_t title_length = 5 + rng.Index(5);
+  std::vector<std::string> words;
+  for (size_t i = 0; i < title_length; ++i) {
+    // Zipf-weighted draw: common words recur across entities, which gives
+    // non-matching pairs graded, non-zero similarity.
+    const size_t w = static_cast<size_t>(title_sampler.Sample(rng)) - 1;
+    words.emplace_back(title_words[w]);
+  }
+  if (rng.Bernoulli(0.8)) {
+    words.insert(words.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.Index(words.size() + 1)),
+                 RareToken(rng));
+  }
+  entity.title = Join(words, " ");
+  entity.venue_index = rng.Index(wordlists::Venues().size());
+  entity.year = 1988 + static_cast<int>(rng.Index(17));
+  entity.first_page = 1 + static_cast<int>(rng.Index(500));
+  entity.last_page = entity.first_page + 8 + static_cast<int>(rng.Index(20));
+  return entity;
+}
+
+Record MakePaperRecord(const PaperEntity& entity, ObjectId id, bool canonical,
+                       const PaperDatasetConfig& config, Corruptor& corruptor,
+                       Rng& rng) {
+  Record record;
+  record.id = id;
+  record.fields.resize(5);
+
+  // Author field.
+  std::vector<std::string> authors = entity.authors;
+  if (!canonical) {
+    if (authors.size() > 1 && rng.Bernoulli(config.author_drop_prob)) {
+      authors.erase(authors.begin() +
+                    static_cast<std::ptrdiff_t>(rng.Index(authors.size())));
+    }
+    for (auto& author : authors) {
+      if (rng.Bernoulli(config.author_initial_prob)) {
+        author = corruptor.InitialForm(author);
+      }
+    }
+  }
+  record.fields[kAuthor] = Join(authors, " and ");
+
+  // Title field.
+  record.fields[kTitle] =
+      canonical ? entity.title : corruptor.CorruptText(entity.title);
+
+  // Venue field: full name or abbreviation.
+  const auto& venue = wordlists::Venues()[entity.venue_index];
+  const bool abbreviate = !canonical && rng.Bernoulli(config.venue_abbrev_prob);
+  record.fields[kVenue] =
+      std::string(abbreviate ? venue.second : venue.first);
+  if (!canonical && rng.Bernoulli(0.15)) {
+    record.fields[kVenue] = corruptor.CorruptText(record.fields[kVenue]);
+  }
+
+  // Date field.
+  if (canonical || !rng.Bernoulli(config.year_missing_prob)) {
+    int year = entity.year;
+    if (!canonical && rng.Bernoulli(config.year_off_by_one_prob)) {
+      year += rng.Bernoulli(0.5) ? 1 : -1;
+    }
+    record.fields[kDate] = StrFormat("%d", year);
+  }
+
+  // Pages field.
+  if (canonical || !rng.Bernoulli(config.pages_missing_prob)) {
+    if (!canonical && rng.Bernoulli(0.3)) {
+      record.fields[kPages] =
+          StrFormat("pages %d %d", entity.first_page, entity.last_page);
+    } else {
+      record.fields[kPages] =
+          StrFormat("%d-%d", entity.first_page, entity.last_page);
+    }
+  }
+  return record;
+}
+
+// ---------------------------------------------------------------------------
+// Product entity/record construction (bipartite; see paper note above).
+// ---------------------------------------------------------------------------
+
+// Schema field indexes for the Product dataset.
+constexpr int kName = 0;
+constexpr int kPrice = 1;
+
+struct ProductEntity {
+  std::string brand;
+  std::string model;  // e.g. "kx-3200b"
+  std::vector<std::string> nouns;
+  std::vector<std::string> adjectives;
+  double price = 0.0;
+};
+
+std::string MakeModelCode(Rng& rng) {
+  static constexpr char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string code;
+  const size_t prefix_len = 2 + rng.Index(2);
+  for (size_t i = 0; i < prefix_len; ++i) {
+    code += kLetters[rng.Index(26)];
+  }
+  code += '-';
+  const size_t digits = 2 + rng.Index(3);
+  for (size_t i = 0; i < digits; ++i) {
+    code += static_cast<char>('0' + rng.Index(10));
+  }
+  if (rng.Bernoulli(0.4)) code += kLetters[rng.Index(26)];
+  return code;
+}
+
+ProductEntity MakeProductEntity(Rng& rng) {
+  const auto& brands = wordlists::Brands();
+  const auto& nouns = wordlists::ProductNouns();
+  const auto& adjectives = wordlists::ProductAdjectives();
+
+  ProductEntity entity;
+  entity.brand = std::string(brands[rng.Index(brands.size())]);
+  entity.model = MakeModelCode(rng);
+  const size_t num_nouns = 1 + rng.Index(2);
+  for (size_t i = 0; i < num_nouns; ++i) {
+    entity.nouns.emplace_back(nouns[rng.Index(nouns.size())]);
+  }
+  const size_t num_adjectives = 2 + rng.Index(3);
+  for (size_t i = 0; i < num_adjectives; ++i) {
+    entity.adjectives.emplace_back(adjectives[rng.Index(adjectives.size())]);
+  }
+  entity.price = 10.0 + rng.UniformDouble() * 1990.0;
+  return entity;
+}
+
+Record MakeProductRecord(const ProductEntity& entity, ObjectId id,
+                         uint8_t side, bool canonical,
+                         const ProductDatasetConfig& config,
+                         Corruptor& corruptor, Rng& rng) {
+  Record record;
+  record.id = id;
+  record.fields.resize(2);
+
+  std::string model = entity.model;
+  bool include_model = true;
+  if (!canonical) {
+    if (rng.Bernoulli(config.drop_model_prob)) include_model = false;
+    if (include_model && rng.Bernoulli(config.reformat_model_prob)) {
+      // Strip the dash so the code tokenizes as one word instead of two.
+      std::string compact;
+      for (char c : model) {
+        if (c != '-') compact += c;
+      }
+      model = compact;
+    }
+  }
+
+  // Retailer-specific word order: side 0 leads with brand + model; side 1
+  // leads with the description.
+  std::vector<std::string> words;
+  if (side == 0) {
+    words.push_back(entity.brand);
+    if (include_model) words.push_back(model);
+    words.insert(words.end(), entity.adjectives.begin(),
+                 entity.adjectives.end());
+    words.insert(words.end(), entity.nouns.begin(), entity.nouns.end());
+  } else {
+    words.insert(words.end(), entity.adjectives.begin(),
+                 entity.adjectives.end());
+    words.insert(words.end(), entity.nouns.begin(), entity.nouns.end());
+    words.push_back(entity.brand);
+    if (include_model) words.push_back(model);
+  }
+  std::string name = Join(words, " ");
+  if (!canonical) name = corruptor.CorruptText(name);
+  record.fields[kName] = name;
+
+  if (!rng.Bernoulli(config.price_missing_prob)) {
+    const double price =
+        canonical ? entity.price
+                  : corruptor.JitterNumber(entity.price, config.price_jitter);
+    record.fields[kPrice] = StrFormat("%.2f", price);
+  }
+  return record;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamingPaperSource
+// ---------------------------------------------------------------------------
+
+struct StreamingPaperSource::Impl {
+  Impl(const PaperDatasetConfig& config, int32_t scale_factor)
+      : config(config),
+        scale_factor(scale_factor),
+        rng(config.seed),
+        corruptor(config.corruption, &rng),
+        title_sampler(wordlists::TitleWords().size(), 1.05) {
+    meta.name = "paper";
+    meta.schema.field_names = {"author", "title", "venue", "date", "pages"};
+    meta.bipartite = false;
+    meta.total_records =
+        static_cast<int64_t>(scale_factor) * config.clusters.total_records;
+    Restart();
+  }
+
+  void Restart() {
+    status = Status::OK();
+    next_id = 0;
+    entity_id_offset = 0;
+    if (scale_factor < 1) {
+      status = Status::InvalidArgument("scale_factor must be >= 1");
+      block = scale_factor;  // exhausted
+      return;
+    }
+    StartBlock(0);
+  }
+
+  // Seeds the RNG for `b` and samples its cluster-size plan. On sampling
+  // failure the stream ends and `status` carries the error.
+  void StartBlock(int32_t b) {
+    block = b;
+    entity_index = 0;
+    record_in_cluster = 0;
+    if (block >= scale_factor) return;  // end of stream
+    rng = Rng(BlockSeed(config.seed, block));
+    Result<std::vector<int32_t>> sizes =
+        SamplePowerLawClusterSizes(config.clusters, rng);
+    if (!sizes.ok()) {
+      status = sizes.status();
+      block = scale_factor;  // exhausted
+      return;
+    }
+    cluster_sizes = std::move(sizes).value();
+  }
+
+  bool Next(StreamedRecord* out) {
+    while (block < scale_factor &&
+           entity_index >= cluster_sizes.size()) {
+      entity_id_offset += static_cast<int32_t>(cluster_sizes.size());
+      StartBlock(block + 1);
+    }
+    if (block >= scale_factor) return false;
+    if (record_in_cluster == 0) {
+      current_entity = MakePaperEntity(rng, title_sampler);
+    }
+    const bool canonical = record_in_cluster == 0;
+    out->record = MakePaperRecord(current_entity, next_id, canonical, config,
+                                  corruptor, rng);
+    out->entity = entity_id_offset + static_cast<int32_t>(entity_index);
+    out->side = 0;
+    ++next_id;
+    if (++record_in_cluster >= cluster_sizes[entity_index]) {
+      record_in_cluster = 0;
+      ++entity_index;
+    }
+    return true;
+  }
+
+  const PaperDatasetConfig config;
+  const int32_t scale_factor;
+  StreamMeta meta;
+  Status status;
+  Rng rng;
+  Corruptor corruptor;  // reads `rng` through a stable pointer
+  const ZipfSampler title_sampler;
+
+  std::vector<int32_t> cluster_sizes;  // current block's plan
+  int32_t block = 0;
+  size_t entity_index = 0;       // within the current block
+  int32_t record_in_cluster = 0;
+  int32_t entity_id_offset = 0;  // global id of the block's first entity
+  ObjectId next_id = 0;
+  PaperEntity current_entity;
+};
+
+StreamingPaperSource::StreamingPaperSource(const PaperDatasetConfig& config,
+                                           int32_t scale_factor)
+    : impl_(std::make_unique<Impl>(config, scale_factor)) {}
+
+StreamingPaperSource::~StreamingPaperSource() = default;
+
+const StreamMeta& StreamingPaperSource::meta() const { return impl_->meta; }
+
+bool StreamingPaperSource::Next(StreamedRecord* out) {
+  return impl_->Next(out);
+}
+
+void StreamingPaperSource::Reset() { impl_->Restart(); }
+
+Status StreamingPaperSource::status() const { return impl_->status; }
+
+// ---------------------------------------------------------------------------
+// StreamingProductSource
+// ---------------------------------------------------------------------------
+
+struct StreamingProductSource::Impl {
+  Impl(const ProductDatasetConfig& config, int32_t scale_factor)
+      : config(config),
+        scale_factor(scale_factor),
+        rng(config.seed),
+        corruptor(config.corruption, &rng) {
+    meta.name = "product";
+    meta.schema.field_names = {"name", "price"};
+    meta.bipartite = true;
+    meta.total_records =
+        static_cast<int64_t>(scale_factor) * config.clusters.total_records;
+    Restart();
+  }
+
+  void Restart() {
+    status = Status::OK();
+    next_id = 0;
+    entity_id_offset = 0;
+    if (scale_factor < 1) {
+      status = Status::InvalidArgument("scale_factor must be >= 1");
+      block = scale_factor;
+      return;
+    }
+    StartBlock(0);
+  }
+
+  void StartBlock(int32_t b) {
+    block = b;
+    entity_index = 0;
+    record_in_cluster = 0;
+    if (block >= scale_factor) return;
+    rng = Rng(BlockSeed(config.seed, block));
+    Result<std::vector<int32_t>> sizes =
+        SampleSmallClusterSizes(config.clusters, rng);
+    if (!sizes.ok()) {
+      status = sizes.status();
+      block = scale_factor;
+      return;
+    }
+    cluster_sizes = std::move(sizes).value();
+  }
+
+  bool Next(StreamedRecord* out) {
+    while (block < scale_factor &&
+           entity_index >= cluster_sizes.size()) {
+      entity_id_offset += static_cast<int32_t>(cluster_sizes.size());
+      StartBlock(block + 1);
+    }
+    if (block >= scale_factor) return false;
+    if (record_in_cluster == 0) {
+      current_entity = MakeProductEntity(rng);
+    }
+    const int32_t size = cluster_sizes[entity_index];
+    const int32_t r = record_in_cluster;
+    // Singleton clusters land on a random side; larger clusters alternate
+    // so every multi-record entity spans both catalogs.
+    uint8_t side = 0;
+    if (size == 1) {
+      side = rng.Bernoulli(0.5) ? 1 : 0;
+    } else {
+      side = static_cast<uint8_t>(r % 2);
+    }
+    out->record = MakeProductRecord(current_entity, next_id, side,
+                                    /*canonical=*/r == 0, config, corruptor,
+                                    rng);
+    out->entity = entity_id_offset + static_cast<int32_t>(entity_index);
+    out->side = side;
+    ++next_id;
+    if (++record_in_cluster >= size) {
+      record_in_cluster = 0;
+      ++entity_index;
+    }
+    return true;
+  }
+
+  const ProductDatasetConfig config;
+  const int32_t scale_factor;
+  StreamMeta meta;
+  Status status;
+  Rng rng;
+  Corruptor corruptor;
+
+  std::vector<int32_t> cluster_sizes;
+  int32_t block = 0;
+  size_t entity_index = 0;
+  int32_t record_in_cluster = 0;
+  int32_t entity_id_offset = 0;
+  ObjectId next_id = 0;
+  ProductEntity current_entity;
+};
+
+StreamingProductSource::StreamingProductSource(
+    const ProductDatasetConfig& config, int32_t scale_factor)
+    : impl_(std::make_unique<Impl>(config, scale_factor)) {}
+
+StreamingProductSource::~StreamingProductSource() = default;
+
+const StreamMeta& StreamingProductSource::meta() const { return impl_->meta; }
+
+bool StreamingProductSource::Next(StreamedRecord* out) {
+  return impl_->Next(out);
+}
+
+void StreamingProductSource::Reset() { impl_->Restart(); }
+
+Status StreamingProductSource::status() const { return impl_->status; }
+
+}  // namespace crowdjoin

@@ -95,4 +95,97 @@ Result<CandidateSet> GenerateCandidates(
   return candidates;
 }
 
+Result<CandidateSet> GenerateCandidatesStreaming(
+    RecordSource& source, const RecordScorer* scorer,
+    const CandidateGeneratorOptions& options,
+    const ShardedJoinOptions& sharding,
+    std::vector<int32_t>* entity_of_out) {
+  const bool bipartite = source.meta().bipartite;
+  source.Reset();
+  if (entity_of_out != nullptr) {
+    entity_of_out->clear();
+    entity_of_out->reserve(static_cast<size_t>(source.meta().total_records));
+  }
+
+  TokenDictionary dictionary;
+  dictionary.Reserve(static_cast<size_t>(source.meta().total_records));
+  ShardedSelfJoiner self_joiner(sharding.num_shards);
+  ShardedBipartiteJoiner bipartite_joiner(sharding.num_shards);
+
+  // Ingest: tokenize each record as it streams by and hand the token doc
+  // straight to the joiner. Per join-side position we keep the record id
+  // (candidates reference ids) and, only when a scorer needs the text back
+  // for the likelihood blend, the record itself.
+  RecordSet retained;               // stream order; empty without a scorer
+  std::vector<ObjectId> left_ids;   // ids by left/self side-local position
+  std::vector<ObjectId> right_ids;  // ids by right side-local position
+  std::vector<size_t> left_pos;     // stream position per side-local index,
+  std::vector<size_t> right_pos;    // for scoring against `retained`
+  StreamedRecord streamed;
+  size_t stream_pos = 0;
+  while (source.Next(&streamed)) {
+    const std::vector<int32_t> doc =
+        dictionary.AddDocument(RecordTokens(streamed.record));
+    if (!bipartite || streamed.side == 0) {
+      if (bipartite) {
+        bipartite_joiner.AddLeft(doc);
+      } else {
+        self_joiner.Add(doc);
+      }
+      left_ids.push_back(streamed.record.id);
+      if (scorer != nullptr) left_pos.push_back(stream_pos);
+    } else {
+      bipartite_joiner.AddRight(doc);
+      right_ids.push_back(streamed.record.id);
+      if (scorer != nullptr) right_pos.push_back(stream_pos);
+    }
+    if (entity_of_out != nullptr) entity_of_out->push_back(streamed.entity);
+    if (scorer != nullptr) retained.push_back(std::move(streamed.record));
+    ++stream_pos;
+  }
+  CJ_RETURN_IF_ERROR(source.status());
+
+  // Join across the worker pool.
+  std::vector<ScoredPair> joined;
+  {
+    ThreadPool pool(sharding.num_threads);
+    ThreadPool* pool_ptr = pool.num_threads() > 0 ? &pool : nullptr;
+    if (!bipartite) {
+      CJ_ASSIGN_OR_RETURN(
+          joined, self_joiner.Finish(dictionary, options.token_join_threshold,
+                                     pool_ptr));
+    } else {
+      CJ_ASSIGN_OR_RETURN(joined, bipartite_joiner.Finish(
+                                      dictionary,
+                                      options.token_join_threshold, pool_ptr));
+    }
+  }
+
+  // Score survivors in the join's deterministic (left, right) order, so the
+  // noise stream — and therefore the candidate set — is identical to the
+  // batch path's.
+  CandidateSet candidates;
+  candidates.reserve(joined.size());
+  Rng noise_rng(options.noise_seed);
+  for (const ScoredPair& pair : joined) {
+    const auto left = static_cast<size_t>(pair.left);
+    const auto right = static_cast<size_t>(pair.right);
+    const ObjectId id_a = left_ids[left];
+    const ObjectId id_b = bipartite ? right_ids[right] : left_ids[right];
+    double similarity = pair.score;
+    if (scorer != nullptr) {
+      const Record& ra = retained[left_pos[left]];
+      const Record& rb =
+          retained[bipartite ? right_pos[right] : left_pos[right]];
+      CJ_ASSIGN_OR_RETURN(similarity, scorer->Score(ra, rb));
+    }
+    const double likelihood = NoisyLikelihood(
+        similarity, options.likelihood_noise_stddev, noise_rng);
+    if (likelihood >= options.min_likelihood) {
+      candidates.push_back({id_a, id_b, likelihood});
+    }
+  }
+  return candidates;
+}
+
 }  // namespace crowdjoin

@@ -6,6 +6,8 @@
 
 #include "common/result.h"
 #include "core/candidate.h"
+#include "datagen/record_source.h"
+#include "simjoin/sharded_join.h"
 #include "text/record.h"
 #include "text/record_similarity.h"
 
@@ -45,6 +47,31 @@ struct CandidateGeneratorOptions {
 Result<CandidateSet> GenerateCandidates(
     const RecordSet& records, const std::vector<uint8_t>* side_of,
     const RecordScorer& scorer, const CandidateGeneratorOptions& options);
+
+/// \brief Streaming machine step: candidate generation over a
+/// `RecordSource`, with the cross-product pruned by the sharded parallel
+/// join — the entry point for 100k-1M-record workloads.
+///
+/// Records are pulled from `source` one at a time (after a `Reset`),
+/// tokenized, interned, and fed straight into a `ShardedSelfJoiner` /
+/// `ShardedBipartiteJoiner` (chosen by `source.meta().bipartite`); the
+/// join then fans across `sharding.num_threads` pool workers.
+///
+/// `scorer` may be null: likelihoods are then the join's token-Jaccard
+/// scores and **no record text is retained** — memory stays at the token
+/// docs plus the candidate set, which is what makes million-record
+/// campaigns fit. With a scorer (fit it over the same corpus first) the
+/// streamed records are retained for scoring and the result is
+/// byte-identical to `GenerateCandidates` over the materialized dataset.
+///
+/// `entity_of_out`, when non-null, receives each streamed record's ground
+/// truth entity (indexed by record position) for building oracles without
+/// a second pass.
+Result<CandidateSet> GenerateCandidatesStreaming(
+    RecordSource& source, const RecordScorer* scorer,
+    const CandidateGeneratorOptions& options,
+    const ShardedJoinOptions& sharding,
+    std::vector<int32_t>* entity_of_out = nullptr);
 
 }  // namespace crowdjoin
 

@@ -1,0 +1,47 @@
+#ifndef CROWDJOIN_SIMJOIN_PREFIX_FILTER_H_
+#define CROWDJOIN_SIMJOIN_PREFIX_FILTER_H_
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace crowdjoin {
+
+/// ceil(t * len) computed robustly against floating-point error: the
+/// smallest candidate size that can still reach Jaccard `threshold`
+/// against a document of size `len`.
+inline size_t CeilThresholdLength(double threshold, size_t len) {
+  return static_cast<size_t>(
+      std::ceil(threshold * static_cast<double>(len) - 1e-9));
+}
+
+/// floor(len / t): the largest candidate size that can still reach Jaccard
+/// `threshold` against a document of size `len`.
+inline size_t FloorThresholdLength(double threshold, size_t len) {
+  return static_cast<size_t>(
+      std::floor(static_cast<double>(len) / threshold + 1e-9));
+}
+
+/// Prefix length guaranteeing that two documents with Jaccard >= t share at
+/// least one token inside both prefixes (under any common total token
+/// order): p = |x| - ceil(t * |x|) + 1. Empty documents get prefix 0 —
+/// they take no part in any join (the naive formula would report 1 and
+/// send callers reading past an empty token array).
+inline size_t PrefixLength(double threshold, size_t len) {
+  if (len == 0) return 0;
+  const size_t required = CeilThresholdLength(threshold, len);
+  return len >= required ? len - required + 1 : 0;
+}
+
+/// Shared argument check for every join entry point.
+inline Status ValidateJoinThreshold(double threshold) {
+  if (!(threshold > 0.0) || threshold > 1.0) {
+    return Status::InvalidArgument("similarity threshold must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_PREFIX_FILTER_H_

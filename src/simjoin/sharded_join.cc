@@ -1,0 +1,289 @@
+#include "simjoin/sharded_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/macros.h"
+#include "simjoin/prefix_filter.h"
+#include "text/set_similarity.h"
+
+namespace crowdjoin {
+
+namespace {
+
+constexpr int kDefaultNumShards = 16;
+
+int ResolveShardCount(int requested) {
+  return requested > 0 ? requested : kDefaultNumShards;
+}
+
+std::vector<ScoredPair> MergeTaskOutputs(
+    std::vector<std::vector<ScoredPair>> per_task) {
+  size_t total = 0;
+  for (const auto& part : per_task) total += part.size();
+  std::vector<ScoredPair> out;
+  out.reserve(total);
+  for (auto& part : per_task) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // (left, right) keys are unique across tasks, so this sort makes the
+  // merged output independent of shard/thread scheduling — and identical
+  // to the sequential joins' sorted output.
+  SortByPairOrder(out);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ingestion
+// ---------------------------------------------------------------------------
+
+void ShardedSelfJoiner::Shard::Append(int32_t global_id,
+                                      const std::vector<int32_t>& doc) {
+  doc_ids.push_back(global_id);
+  tokens.insert(tokens.end(), doc.begin(), doc.end());
+  offsets.push_back(static_cast<int64_t>(tokens.size()));
+}
+
+ShardedSelfJoiner::ShardedSelfJoiner(int num_shards)
+    : shards_(static_cast<size_t>(ResolveShardCount(num_shards))) {}
+
+void ShardedSelfJoiner::Add(const std::vector<int32_t>& doc) {
+  const auto shard = static_cast<size_t>(
+      num_docs_ % static_cast<int64_t>(shards_.size()));
+  shards_[shard].Append(static_cast<int32_t>(num_docs_), doc);
+  ++num_docs_;
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard preparation (phase 1)
+// ---------------------------------------------------------------------------
+
+struct ShardedSelfJoiner::Prepared {
+  /// Rarity-ordered copy of the shard's tokens (same offsets as the raw
+  /// shard), from which prefixes are read.
+  std::vector<int32_t> rarity;
+  /// Prefix length of each document at the join threshold.
+  std::vector<int32_t> prefix_len;
+  /// Prefix index: token id -> local doc positions whose prefix holds it.
+  std::unordered_map<int32_t, std::vector<int32_t>> index;
+};
+
+ShardedSelfJoiner::Prepared ShardedSelfJoiner::Prepare(
+    const Shard& shard, const TokenDictionary& dict, double threshold,
+    bool build_index) {
+  Prepared prepared;
+  prepared.rarity = shard.tokens;
+  const size_t n = shard.size();
+  prepared.prefix_len.resize(n);
+  size_t total_prefix = 0;
+  for (size_t d = 0; d < n; ++d) {
+    int32_t* begin = prepared.rarity.data() + shard.offsets[d];
+    int32_t* end = prepared.rarity.data() + shard.offsets[d + 1];
+    dict.SortByRarity(begin, end);
+    const auto len = static_cast<size_t>(end - begin);
+    const size_t prefix = PrefixLength(threshold, len);
+    prepared.prefix_len[d] = static_cast<int32_t>(prefix);
+    total_prefix += prefix;
+  }
+  if (build_index) {
+    prepared.index.reserve(std::min(total_prefix, dict.size()));
+    for (size_t d = 0; d < n; ++d) {
+      const int32_t* prefix = prepared.rarity.data() + shard.offsets[d];
+      const auto prefix_len = static_cast<size_t>(prepared.prefix_len[d]);
+      for (size_t p = 0; p < prefix_len; ++p) {
+        prepared.index[prefix[p]].push_back(static_cast<int32_t>(d));
+      }
+    }
+  }
+  return prepared;
+}
+
+// ---------------------------------------------------------------------------
+// Shard-vs-shard probe (phase 2)
+// ---------------------------------------------------------------------------
+
+void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
+                                  const Prepared& target,
+                                  const Shard& probe_raw,
+                                  const Prepared& probe, bool same_shard,
+                                  bool bipartite_emit, double threshold,
+                                  std::vector<ScoredPair>& out) {
+  std::vector<int32_t> last_seen(target_raw.size(), -1);
+  std::vector<int32_t> candidates;  // scratch, reused across probe docs
+  for (size_t j = 0; j < probe_raw.size(); ++j) {
+    const int64_t begin_j = probe_raw.offsets[j];
+    const auto len_j =
+        static_cast<size_t>(probe_raw.offsets[j + 1] - begin_j);
+    if (len_j == 0) continue;
+    const auto prefix_j = static_cast<size_t>(probe.prefix_len[j]);
+    const size_t min_len = CeilThresholdLength(threshold, len_j);
+    const size_t max_len = FloorThresholdLength(threshold, len_j);
+
+    candidates.clear();
+    for (size_t p = 0; p < prefix_j; ++p) {
+      const int32_t token =
+          probe.rarity[static_cast<size_t>(begin_j) + p];
+      const auto postings = target.index.find(token);
+      if (postings == target.index.end()) continue;
+      for (const int32_t i : postings->second) {
+        if (last_seen[static_cast<size_t>(i)] == static_cast<int32_t>(j)) {
+          continue;
+        }
+        last_seen[static_cast<size_t>(i)] = static_cast<int32_t>(j);
+        // Same-shard tasks emit each unordered pair once: only the earlier
+        // (smaller-global-id, i.e. smaller local position) partner.
+        if (same_shard && i >= static_cast<int32_t>(j)) continue;
+        const auto len_i = static_cast<size_t>(
+            target_raw.offsets[static_cast<size_t>(i) + 1] -
+            target_raw.offsets[static_cast<size_t>(i)]);
+        if (len_i < min_len || len_i > max_len) continue;
+        candidates.push_back(i);
+      }
+    }
+    for (const int32_t i : candidates) {
+      const int64_t begin_i = target_raw.offsets[static_cast<size_t>(i)];
+      const auto len_i = static_cast<size_t>(
+          target_raw.offsets[static_cast<size_t>(i) + 1] - begin_i);
+      const double score = BoundedJaccard(
+          target_raw.tokens.data() + begin_i, len_i,
+          probe_raw.tokens.data() + begin_j, len_j, threshold);
+      if (score + 1e-12 >= threshold) {
+        const int32_t gi = target_raw.doc_ids[static_cast<size_t>(i)];
+        const int32_t gj = probe_raw.doc_ids[j];
+        if (bipartite_emit) {
+          out.push_back({gi, gj, score});
+        } else {
+          out.push_back({std::min(gi, gj), std::max(gi, gj), score});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Self-join driver
+// ---------------------------------------------------------------------------
+
+Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
+  const auto num_shards = static_cast<int64_t>(shards_.size());
+
+  // Phase 1: every shard's rarity order + prefix index, in parallel.
+  std::vector<Prepared> prepared =
+      ParallelMap(pool, num_shards, [&](int64_t s) {
+        return Prepare(shards_[static_cast<size_t>(s)], dictionary,
+                       threshold, /*build_index=*/true);
+      });
+
+  // Phase 2: one task per unordered shard pairing (a <= b): probe shard
+  // b's documents against shard a's prefix index.
+  std::vector<std::pair<int32_t, int32_t>> tasks;
+  tasks.reserve(static_cast<size_t>(num_shards * (num_shards + 1) / 2));
+  for (int32_t a = 0; a < num_shards; ++a) {
+    for (int32_t b = a; b < num_shards; ++b) tasks.push_back({a, b});
+  }
+  std::vector<std::vector<ScoredPair>> per_task = ParallelMap(
+      pool, static_cast<int64_t>(tasks.size()), [&](int64_t ti) {
+        const auto [a, b] = tasks[static_cast<size_t>(ti)];
+        std::vector<ScoredPair> out;
+        ProbeTask(shards_[static_cast<size_t>(a)],
+                  prepared[static_cast<size_t>(a)],
+                  shards_[static_cast<size_t>(b)],
+                  prepared[static_cast<size_t>(b)],
+                  /*same_shard=*/a == b, /*bipartite_emit=*/false, threshold,
+                  out);
+        return out;
+      });
+  return MergeTaskOutputs(std::move(per_task));
+}
+
+// ---------------------------------------------------------------------------
+// Bipartite driver
+// ---------------------------------------------------------------------------
+
+ShardedBipartiteJoiner::ShardedBipartiteJoiner(int num_shards)
+    : left_(num_shards), right_(num_shards) {}
+
+void ShardedBipartiteJoiner::AddLeft(const std::vector<int32_t>& doc) {
+  left_.Add(doc);
+}
+
+void ShardedBipartiteJoiner::AddRight(const std::vector<int32_t>& doc) {
+  right_.Add(doc);
+}
+
+Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
+  const auto left_shards = static_cast<int64_t>(left_.shards_.size());
+  const auto right_shards = static_cast<int64_t>(right_.shards_.size());
+
+  // Left shards carry the index; right shards only need prefixes.
+  std::vector<ShardedSelfJoiner::Prepared> left_prepared =
+      ParallelMap(pool, left_shards, [&](int64_t s) {
+        return ShardedSelfJoiner::Prepare(
+            left_.shards_[static_cast<size_t>(s)], dictionary, threshold,
+            /*build_index=*/true);
+      });
+  std::vector<ShardedSelfJoiner::Prepared> right_prepared =
+      ParallelMap(pool, right_shards, [&](int64_t s) {
+        return ShardedSelfJoiner::Prepare(
+            right_.shards_[static_cast<size_t>(s)], dictionary, threshold,
+            /*build_index=*/false);
+      });
+
+  // One task per left-shard x right-shard pairing.
+  const int64_t num_tasks = left_shards * right_shards;
+  std::vector<std::vector<ScoredPair>> per_task =
+      ParallelMap(pool, num_tasks, [&](int64_t ti) {
+        const auto a = static_cast<size_t>(ti / right_shards);
+        const auto b = static_cast<size_t>(ti % right_shards);
+        std::vector<ScoredPair> out;
+        ShardedSelfJoiner::ProbeTask(
+            left_.shards_[a], left_prepared[a], right_.shards_[b],
+            right_prepared[b], /*same_shard=*/false, /*bipartite_emit=*/true,
+            threshold, out);
+        return out;
+      });
+  return MergeTaskOutputs(std::move(per_task));
+}
+
+// ---------------------------------------------------------------------------
+// Convenience wrappers
+// ---------------------------------------------------------------------------
+
+Result<std::vector<ScoredPair>> ShardedSelfJoin(
+    const std::vector<std::vector<int32_t>>& docs,
+    const TokenDictionary& dictionary, double threshold,
+    const ShardedJoinOptions& options) {
+  ShardedSelfJoiner joiner(options.num_shards);
+  for (const auto& doc : docs) joiner.Add(doc);
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    return joiner.Finish(dictionary, threshold, &pool);
+  }
+  return joiner.Finish(dictionary, threshold, nullptr);
+}
+
+Result<std::vector<ScoredPair>> ShardedBipartiteJoin(
+    const std::vector<std::vector<int32_t>>& left,
+    const std::vector<std::vector<int32_t>>& right,
+    const TokenDictionary& dictionary, double threshold,
+    const ShardedJoinOptions& options) {
+  ShardedBipartiteJoiner joiner(options.num_shards);
+  for (const auto& doc : left) joiner.AddLeft(doc);
+  for (const auto& doc : right) joiner.AddRight(doc);
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    return joiner.Finish(dictionary, threshold, &pool);
+  }
+  return joiner.Finish(dictionary, threshold, nullptr);
+}
+
+}  // namespace crowdjoin

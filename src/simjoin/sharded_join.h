@@ -1,0 +1,133 @@
+#ifndef CROWDJOIN_SIMJOIN_SHARDED_JOIN_H_
+#define CROWDJOIN_SIMJOIN_SHARDED_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "simjoin/similarity_join.h"
+#include "simjoin/token_dictionary.h"
+
+namespace crowdjoin {
+
+/// Knobs of the sharded parallel join.
+struct ShardedJoinOptions {
+  /// Number of document shards; <= 0 picks the default (16). More shards
+  /// mean finer-grained probe tasks (self-join: S*(S+1)/2 of them) and
+  /// smaller per-task working sets; output is identical for every value.
+  int num_shards = 0;
+  /// Worker threads for the convenience wrappers that own their pool;
+  /// <= 0 runs inline. (`Finish` takes an external pool instead.)
+  int num_threads = 0;
+};
+
+/// \brief Sharded, pool-parallel set-similarity self-join with streaming
+/// ingestion — the scale path of the machine step.
+///
+/// Documents are `Add`ed one at a time (round-robin across shards, O(1)
+/// amortized per document, flat arena storage per shard) as records stream
+/// in; `Finish` then builds each shard's rarity-ordered prefix index in
+/// parallel on the given `ThreadPool`, fans the shard-vs-shard probe tasks
+/// across the pool, and merges the per-task outputs into one
+/// (left, right)-sorted result.
+///
+/// Determinism contract: the returned pairs are **byte-identical** to
+/// `PrefixFilterSelfJoin` over the same documents — same pair set, same
+/// scores, same order — for every shard count and thread count, including
+/// the inline (0-thread) pool. Each qualifying pair is produced by exactly
+/// one task and verified with the same exact-Jaccard routine the
+/// sequential join uses.
+///
+/// A joiner may be `Finish`ed repeatedly (e.g. at several thresholds); the
+/// ingested documents are immutable once added. Not thread-safe for
+/// concurrent `Add` calls; `Finish` only reads.
+class ShardedSelfJoiner {
+ public:
+  explicit ShardedSelfJoiner(int num_shards = 0);
+
+  /// Ingests one document (deduplicated token ids, sorted ascending). The
+  /// document's global id is its `Add` order, matching the doc indexing of
+  /// `PrefixFilterSelfJoin`.
+  void Add(const std::vector<int32_t>& doc);
+
+  int64_t num_docs() const { return num_docs_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Runs the join at `threshold` over everything added so far, fanning
+  /// work across `pool` (nullptr = inline). `dictionary` must contain
+  /// every token id that was added and be fully populated (frequencies
+  /// final), exactly as the sequential join requires.
+  Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
+                                         double threshold,
+                                         ThreadPool* pool) const;
+
+ private:
+  friend class ShardedBipartiteJoiner;
+
+  /// Flat arena of one shard's documents.
+  struct Shard {
+    std::vector<int32_t> doc_ids;  ///< global ids, ingestion order
+    std::vector<int32_t> tokens;   ///< concatenated sorted-unique token ids
+    std::vector<int64_t> offsets = {0};  ///< doc d = tokens[offsets[d]..offsets[d+1])
+
+    void Append(int32_t global_id, const std::vector<int32_t>& doc);
+    size_t size() const { return doc_ids.size(); }
+  };
+
+  /// Per-shard rarity order + prefix index, built in parallel by `Finish`.
+  struct Prepared;
+
+  static Prepared Prepare(const Shard& shard, const TokenDictionary& dict,
+                          double threshold, bool build_index);
+  static void ProbeTask(const Shard& target_raw, const Prepared& target,
+                        const Shard& probe_raw, const Prepared& probe,
+                        bool same_shard, bool bipartite_emit,
+                        double threshold, std::vector<ScoredPair>& out);
+
+  std::vector<Shard> shards_;
+  int64_t num_docs_ = 0;
+};
+
+/// \brief Bipartite (cross-catalog) variant: left and right documents are
+/// ingested separately; every left-shard x right-shard pairing becomes one
+/// probe task. Output is byte-identical to `PrefixFilterBipartiteJoin` at
+/// every shard and thread count.
+class ShardedBipartiteJoiner {
+ public:
+  explicit ShardedBipartiteJoiner(int num_shards = 0);
+
+  /// Ingests one left/right document; its global id within that side is
+  /// the ingestion order, matching `PrefixFilterBipartiteJoin` indexing.
+  void AddLeft(const std::vector<int32_t>& doc);
+  void AddRight(const std::vector<int32_t>& doc);
+
+  int64_t num_left() const { return left_.num_docs(); }
+  int64_t num_right() const { return right_.num_docs(); }
+
+  Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
+                                         double threshold,
+                                         ThreadPool* pool) const;
+
+ private:
+  ShardedSelfJoiner left_;
+  ShardedSelfJoiner right_;
+};
+
+/// Convenience wrapper: sharded self-join over an in-memory corpus. Owns a
+/// pool of `options.num_threads` workers for the duration of the call.
+Result<std::vector<ScoredPair>> ShardedSelfJoin(
+    const std::vector<std::vector<int32_t>>& docs,
+    const TokenDictionary& dictionary, double threshold,
+    const ShardedJoinOptions& options);
+
+/// Convenience wrapper: sharded bipartite join over in-memory collections.
+Result<std::vector<ScoredPair>> ShardedBipartiteJoin(
+    const std::vector<std::vector<int32_t>>& left,
+    const std::vector<std::vector<int32_t>>& right,
+    const TokenDictionary& dictionary, double threshold,
+    const ShardedJoinOptions& options);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_SHARDED_JOIN_H_

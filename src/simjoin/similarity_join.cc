@@ -1,47 +1,18 @@
 #include "simjoin/similarity_join.h"
 
 #include <algorithm>
-#include <cmath>
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "simjoin/prefix_filter.h"
 #include "text/set_similarity.h"
 
 namespace crowdjoin {
 
-namespace {
-
-// ceil(t * len) computed robustly against floating-point error.
-size_t CeilThresholdLength(double threshold, size_t len) {
-  return static_cast<size_t>(
-      std::ceil(threshold * static_cast<double>(len) - 1e-9));
-}
-
-// Prefix length guaranteeing that two documents with Jaccard >= t share at
-// least one token inside both prefixes (under any common total token order):
-// p = |x| - ceil(t * |x|) + 1.
-size_t PrefixLength(double threshold, size_t len) {
-  const size_t required = CeilThresholdLength(threshold, len);
-  return len >= required ? len - required + 1 : 0;
-}
-
-Status ValidateThreshold(double threshold) {
-  if (!(threshold > 0.0) || threshold > 1.0) {
-    return Status::InvalidArgument("similarity threshold must be in (0, 1]");
-  }
-  return Status::OK();
-}
-
-struct IndexEntry {
-  int32_t doc = 0;
-};
-
-}  // namespace
-
 Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& docs,
     const TokenDictionary& dictionary, double threshold) {
-  CJ_RETURN_IF_ERROR(ValidateThreshold(threshold));
+  CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
   const size_t n = docs.size();
 
   // Process docs in ascending size so the length filter |y| >= t|x| holds
@@ -64,8 +35,12 @@ Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
     dictionary.SortByRarity(by_rarity[i]);
   }
 
-  std::unordered_map<int32_t, std::vector<IndexEntry>> index;
+  std::unordered_map<int32_t, std::vector<int32_t>> index;
+  index.reserve(dictionary.size());
   std::vector<int32_t> last_seen(n, -1);
+  // Scratch candidate buffer, reused across probes: the probe phase only
+  // gathers ids, and verification runs afterwards as one tight batch.
+  std::vector<int32_t> candidates;
   std::vector<ScoredPair> out;
 
   for (size_t step = 0; step < n; ++step) {
@@ -76,29 +51,30 @@ Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
     const size_t prefix_x = PrefixLength(threshold, len_x);
     const size_t min_len_y = CeilThresholdLength(threshold, len_x);
 
+    candidates.clear();
     for (size_t p = 0; p < prefix_x; ++p) {
       auto it = index.find(rarity_x[p]);
       if (it == index.end()) continue;
-      for (const IndexEntry& entry : it->second) {
-        const int32_t y = entry.doc;
+      for (const int32_t y : it->second) {
         if (last_seen[static_cast<size_t>(y)] == x) continue;  // dedupe
         last_seen[static_cast<size_t>(y)] = x;
         if (docs[static_cast<size_t>(y)].size() < min_len_y) continue;
-        const double score = JaccardSimilarity(docs[static_cast<size_t>(x)],
-                                               docs[static_cast<size_t>(y)]);
-        if (score + 1e-12 >= threshold) {
-          out.push_back({std::min(x, y), std::max(x, y), score});
-        }
+        candidates.push_back(y);
+      }
+    }
+    for (const int32_t y : candidates) {
+      const double score = BoundedJaccard(docs[static_cast<size_t>(x)],
+                                          docs[static_cast<size_t>(y)],
+                                          threshold);
+      if (score + 1e-12 >= threshold) {
+        out.push_back({std::min(x, y), std::max(x, y), score});
       }
     }
     for (size_t p = 0; p < prefix_x; ++p) {
-      index[rarity_x[p]].push_back({x});
+      index[rarity_x[p]].push_back(x);
     }
   }
-  std::sort(out.begin(), out.end(), [](const ScoredPair& a, const ScoredPair& b) {
-    if (a.left != b.left) return a.left < b.left;
-    return a.right < b.right;
-  });
+  SortByPairOrder(out);
   return out;
 }
 
@@ -106,21 +82,23 @@ Result<std::vector<ScoredPair>> PrefixFilterBipartiteJoin(
     const std::vector<std::vector<int32_t>>& left,
     const std::vector<std::vector<int32_t>>& right,
     const TokenDictionary& dictionary, double threshold) {
-  CJ_RETURN_IF_ERROR(ValidateThreshold(threshold));
+  CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
 
   // Index the left side's prefixes.
-  std::unordered_map<int32_t, std::vector<IndexEntry>> index;
+  std::unordered_map<int32_t, std::vector<int32_t>> index;
+  index.reserve(dictionary.size());
   std::vector<std::vector<int32_t>> left_rarity(left.size());
   for (size_t i = 0; i < left.size(); ++i) {
     left_rarity[i] = left[i];
     dictionary.SortByRarity(left_rarity[i]);
     const size_t prefix = PrefixLength(threshold, left_rarity[i].size());
     for (size_t p = 0; p < prefix; ++p) {
-      index[left_rarity[i][p]].push_back({static_cast<int32_t>(i)});
+      index[left_rarity[i][p]].push_back(static_cast<int32_t>(i));
     }
   }
 
   std::vector<int32_t> last_seen(left.size(), -1);
+  std::vector<int32_t> candidates;
   std::vector<ScoredPair> out;
   std::vector<int32_t> rarity_s;
   for (size_t j = 0; j < right.size(); ++j) {
@@ -130,32 +108,30 @@ Result<std::vector<ScoredPair>> PrefixFilterBipartiteJoin(
     if (len_s == 0) continue;
     const size_t prefix_s = PrefixLength(threshold, len_s);
     const size_t min_len = CeilThresholdLength(threshold, len_s);
-    const size_t max_len =
-        static_cast<size_t>(std::floor(static_cast<double>(len_s) / threshold +
-                                       1e-9));
+    const size_t max_len = FloorThresholdLength(threshold, len_s);
+    candidates.clear();
     for (size_t p = 0; p < prefix_s; ++p) {
       auto it = index.find(rarity_s[p]);
       if (it == index.end()) continue;
-      for (const IndexEntry& entry : it->second) {
-        const int32_t r = entry.doc;
+      for (const int32_t r : it->second) {
         if (last_seen[static_cast<size_t>(r)] == static_cast<int32_t>(j)) {
           continue;
         }
         last_seen[static_cast<size_t>(r)] = static_cast<int32_t>(j);
         const size_t len_r = left[static_cast<size_t>(r)].size();
         if (len_r < min_len || len_r > max_len) continue;
-        const double score =
-            JaccardSimilarity(left[static_cast<size_t>(r)], right[j]);
-        if (score + 1e-12 >= threshold) {
-          out.push_back({r, static_cast<int32_t>(j), score});
-        }
+        candidates.push_back(r);
+      }
+    }
+    for (const int32_t r : candidates) {
+      const double score =
+          BoundedJaccard(left[static_cast<size_t>(r)], right[j], threshold);
+      if (score + 1e-12 >= threshold) {
+        out.push_back({r, static_cast<int32_t>(j), score});
       }
     }
   }
-  std::sort(out.begin(), out.end(), [](const ScoredPair& a, const ScoredPair& b) {
-    if (a.left != b.left) return a.left < b.left;
-    return a.right < b.right;
-  });
+  SortByPairOrder(out);
   return out;
 }
 

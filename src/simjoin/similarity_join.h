@@ -1,6 +1,7 @@
 #ifndef CROWDJOIN_SIMJOIN_SIMILARITY_JOIN_H_
 #define CROWDJOIN_SIMJOIN_SIMILARITY_JOIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -19,6 +20,17 @@ struct ScoredPair {
     return x.left == y.left && x.right == y.right && x.score == y.score;
   }
 };
+
+/// The canonical (left, right) output order every join emits — sequential
+/// and sharded alike share this single definition, which is what the
+/// sharded join's byte-identical-output contract sorts by.
+inline void SortByPairOrder(std::vector<ScoredPair>& pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ScoredPair& a, const ScoredPair& b) {
+              if (a.left != b.left) return a.left < b.left;
+              return a.right < b.right;
+            });
+}
 
 /// \brief Set-similarity self-join: all pairs (i < j) of documents with
 /// Jaccard >= threshold.

@@ -30,8 +30,17 @@ std::vector<int32_t> TokenDictionary::Encode(
   return doc;
 }
 
+void TokenDictionary::Reserve(size_t expected_tokens) {
+  ids_.reserve(expected_tokens);
+  frequency_.reserve(expected_tokens);
+}
+
 void TokenDictionary::SortByRarity(std::vector<int32_t>& doc) const {
-  std::sort(doc.begin(), doc.end(), [this](int32_t x, int32_t y) {
+  SortByRarity(doc.data(), doc.data() + doc.size());
+}
+
+void TokenDictionary::SortByRarity(int32_t* first, int32_t* last) const {
+  std::sort(first, last, [this](int32_t x, int32_t y) {
     const int64_t fx = frequency_[static_cast<size_t>(x)];
     const int64_t fy = frequency_[static_cast<size_t>(y)];
     if (fx != fy) return fx < fy;

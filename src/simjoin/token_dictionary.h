@@ -23,8 +23,17 @@ class TokenDictionary {
   /// Interns without affecting document frequencies (for query-side docs).
   std::vector<int32_t> Encode(const std::vector<std::string>& tokens);
 
+  /// Pre-sizes the intern table and frequency postings for
+  /// `expected_tokens` distinct tokens, so corpus loads at a known scale
+  /// avoid rehash/regrow churn on the hot `AddDocument` path.
+  void Reserve(size_t expected_tokens);
+
   /// Sorts `doc` by (frequency asc, id asc): rarest token first.
   void SortByRarity(std::vector<int32_t>& doc) const;
+
+  /// Range overload of `SortByRarity` for documents living in flat
+  /// (arena-style) buffers, as the sharded join stores them.
+  void SortByRarity(int32_t* first, int32_t* last) const;
 
   /// Document frequency of a token id.
   int64_t Frequency(int32_t token_id) const {

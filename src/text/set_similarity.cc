@@ -26,11 +26,61 @@ size_t OverlapSize(const std::vector<int32_t>& a,
   return overlap;
 }
 
+double JaccardSimilarity(const int32_t* a, size_t na, const int32_t* b,
+                         size_t nb) {
+  if (na == 0 && nb == 0) return 1.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t overlap = 0;
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  const size_t unions = na + nb - overlap;
+  return static_cast<double>(overlap) / static_cast<double>(unions);
+}
+
 double JaccardSimilarity(const std::vector<int32_t>& a,
                          const std::vector<int32_t>& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  const size_t overlap = OverlapSize(a, b);
-  const size_t unions = a.size() + b.size() - overlap;
+  return JaccardSimilarity(a.data(), a.size(), b.data(), b.size());
+}
+
+double BoundedJaccard(const int32_t* a, size_t na, const int32_t* b,
+                      size_t nb, double threshold) {
+  if (na == 0 && nb == 0) return 1.0;
+  // Required overlap o for o/(na+nb-o) >= threshold, under-estimated by a
+  // 1e-6 slack so the early exit is strictly conservative relative to the
+  // joins' `score + 1e-12 >= threshold` emit test.
+  const double bound = threshold * static_cast<double>(na + nb) /
+                       (1.0 + threshold);
+  const auto required =
+      static_cast<size_t>(std::max(0.0, std::ceil(bound - 1e-6)));
+  size_t i = 0;
+  size_t j = 0;
+  size_t overlap = 0;
+  while (i < na && j < nb) {
+    // Even matching every remaining element cannot reach the required
+    // overlap: abandon the merge.
+    if (overlap + std::min(na - i, nb - j) < required) return -1.0;
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++overlap;
+      ++i;
+      ++j;
+    }
+  }
+  if (overlap < required) return -1.0;
+  const size_t unions = na + nb - overlap;
   return static_cast<double>(overlap) / static_cast<double>(unions);
 }
 

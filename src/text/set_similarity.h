@@ -11,10 +11,33 @@ namespace crowdjoin {
 size_t OverlapSize(const std::vector<int32_t>& a,
                    const std::vector<int32_t>& b);
 
+/// Jaccard similarity of sorted, deduplicated id *ranges* — the flat-array
+/// core behind the vector overload, for callers (e.g. the sharded join)
+/// that store documents in arena-style flat buffers.
+double JaccardSimilarity(const int32_t* a, size_t na, const int32_t* b,
+                         size_t nb);
+
 /// Jaccard similarity |A∩B| / |A∪B| of sorted, deduplicated id vectors.
 /// Two empty sets have similarity 1.
 double JaccardSimilarity(const std::vector<int32_t>& a,
                          const std::vector<int32_t>& b);
+
+/// \brief Early-exit Jaccard verification for threshold joins.
+///
+/// Returns the exact Jaccard — bit-identical to `JaccardSimilarity` —
+/// whenever the pair could still satisfy `score + 1e-12 >= threshold`, and
+/// -1.0 as soon as the merge proves it cannot (the remaining elements can
+/// no longer reach the required overlap). Joins that emit on
+/// `score + 1e-12 >= threshold` therefore produce byte-identical output
+/// through either verifier; this one abandons hopeless candidates early.
+double BoundedJaccard(const int32_t* a, size_t na, const int32_t* b,
+                      size_t nb, double threshold);
+
+inline double BoundedJaccard(const std::vector<int32_t>& a,
+                             const std::vector<int32_t>& b,
+                             double threshold) {
+  return BoundedJaccard(a.data(), a.size(), b.data(), b.size(), threshold);
+}
 
 /// Dice coefficient 2|A∩B| / (|A|+|B|).
 double DiceSimilarity(const std::vector<int32_t>& a,

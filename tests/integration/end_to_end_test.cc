@@ -11,6 +11,7 @@
 #include "crowd/orchestrator.h"
 #include "datagen/paper_dataset.h"
 #include "datagen/product_dataset.h"
+#include "datagen/streaming_generator.h"
 #include "eval/metrics.h"
 #include "eval/workbench.h"
 #include "simjoin/candidate_generator.h"
@@ -186,6 +187,69 @@ TEST(EndToEnd, CrowdCampaignWithErrorsStaysReasonable) {
   // must stay in a usable band (the paper saw ~5 points of F-measure).
   EXPECT_GT(q_transitive.f_measure, 0.5);
   EXPECT_GE(q_baseline.f_measure + 0.02, q_transitive.f_measure);
+}
+
+TEST(EndToEnd, StreamingCampaignAtScaleFactorTwoIsLossless) {
+  // The streaming scale path: stream -> sharded join -> transitive
+  // labeling, at 2x paper scale, without materializing a Dataset. With a
+  // perfect oracle the final labels must agree with the streamed ground
+  // truth everywhere.
+  PaperDatasetConfig config;
+  config.clusters.total_records = 150;
+  config.clusters.max_cluster_size = 25;
+  config.seed = 36;
+  StreamingPaperSource source(config, /*scale_factor=*/2);
+
+  StreamingCampaignConfig campaign;
+  campaign.candidates.token_join_threshold = 0.4;
+  campaign.candidates.min_likelihood = 0.4;
+  campaign.sharding.num_threads = 2;
+  campaign.crowd.num_threads = 2;
+  const StreamingCampaignStats stats =
+      RunStreamingCampaign(source, /*scorer=*/nullptr, campaign).value();
+  EXPECT_EQ(stats.num_records, 300);
+  ASSERT_GT(stats.num_candidates, 0);
+  EXPECT_GT(stats.labeling.num_deduced, 0);
+  EXPECT_LT(stats.labeling.num_crowdsourced, stats.num_candidates);
+
+  const GroundTruthOracle truth(stats.entity_of);
+  for (size_t i = 0; i < stats.candidates.size(); ++i) {
+    EXPECT_EQ(stats.labeling.outcomes[i].label,
+              truth.Truth(stats.candidates[i].a, stats.candidates[i].b));
+  }
+}
+
+TEST(EndToEnd, StreamingCampaignIsThreadCountInvariant) {
+  PaperDatasetConfig config;
+  config.clusters.total_records = 120;
+  config.clusters.max_cluster_size = 20;
+  config.seed = 37;
+
+  StreamingCampaignConfig campaign;
+  campaign.candidates.token_join_threshold = 0.4;
+  campaign.candidates.min_likelihood = 0.4;
+
+  StreamingPaperSource baseline_source(config, /*scale_factor=*/2);
+  campaign.sharding.num_threads = 0;
+  campaign.sharding.num_shards = 1;
+  campaign.crowd.num_threads = 0;
+  const StreamingCampaignStats baseline =
+      RunStreamingCampaign(baseline_source, nullptr, campaign).value();
+
+  for (int threads : {2, 4}) {
+    for (int shards : {3, 16}) {
+      StreamingPaperSource source(config, /*scale_factor=*/2);
+      campaign.sharding.num_threads = threads;
+      campaign.sharding.num_shards = shards;
+      campaign.crowd.num_threads = threads;
+      const StreamingCampaignStats stats =
+          RunStreamingCampaign(source, nullptr, campaign).value();
+      ASSERT_TRUE(stats.candidates == baseline.candidates)
+          << "threads=" << threads << " shards=" << shards;
+      ASSERT_TRUE(stats.labeling == baseline.labeling)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
 }
 
 TEST(EndToEnd, WorkbenchInputsAreWellFormed) {

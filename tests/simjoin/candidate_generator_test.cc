@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "datagen/paper_dataset.h"
+#include "datagen/product_dataset.h"
+#include "datagen/streaming_generator.h"
+
 namespace crowdjoin {
 namespace {
 
@@ -112,6 +116,100 @@ TEST(GenerateCandidates, EmptyRecordSet) {
   CandidateGeneratorOptions options;
   EXPECT_TRUE(
       GenerateCandidates({}, nullptr, NameScorer(), options).value().empty());
+}
+
+TEST(GenerateCandidatesStreaming, SelfJoinMatchesBatchPath) {
+  PaperDatasetConfig config;
+  config.clusters.total_records = 120;
+  config.clusters.max_cluster_size = 20;
+  config.seed = 33;
+  const Dataset dataset = GeneratePaperDataset(config).value();
+  RecordScorer scorer = MakePaperScorer();
+  scorer.FitTfIdf(dataset.records);
+
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.15;
+  options.min_likelihood = 0.2;
+  options.likelihood_noise_stddev = 0.1;
+  options.noise_seed = 5;
+  const CandidateSet batch =
+      GenerateCandidates(dataset.records, nullptr, scorer, options).value();
+  ASSERT_FALSE(batch.empty());
+
+  DatasetRecordSource source(&dataset);
+  for (int threads : {0, 2, 4}) {
+    for (int shards : {1, 3, 16}) {
+      ShardedJoinOptions sharding;
+      sharding.num_threads = threads;
+      sharding.num_shards = shards;
+      std::vector<int32_t> entity_of;
+      const CandidateSet streaming =
+          GenerateCandidatesStreaming(source, &scorer, options, sharding,
+                                      &entity_of)
+              .value();
+      ASSERT_EQ(streaming, batch) << "threads=" << threads
+                                  << " shards=" << shards;
+      EXPECT_EQ(entity_of, dataset.entity_of);
+    }
+  }
+}
+
+TEST(GenerateCandidatesStreaming, BipartiteMatchesBatchPath) {
+  ProductDatasetConfig config;
+  config.clusters.total_records = 160;
+  config.seed = 34;
+  const Dataset dataset = GenerateProductDataset(config).value();
+  RecordScorer scorer = MakeProductScorer();
+  scorer.FitTfIdf(dataset.records);
+
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.15;
+  options.min_likelihood = 0.2;
+  const CandidateSet batch =
+      GenerateCandidates(dataset.records, &dataset.side_of, scorer, options)
+          .value();
+  ASSERT_FALSE(batch.empty());
+
+  DatasetRecordSource source(&dataset);
+  for (int threads : {0, 3}) {
+    ShardedJoinOptions sharding;
+    sharding.num_threads = threads;
+    const CandidateSet streaming =
+        GenerateCandidatesStreaming(source, &scorer, options, sharding)
+            .value();
+    ASSERT_EQ(streaming, batch) << "threads=" << threads;
+  }
+}
+
+TEST(GenerateCandidatesStreaming, NullScorerUsesJoinScores) {
+  // The memory-lean configuration: no scorer, likelihood = token Jaccard.
+  PaperDatasetConfig config;
+  config.clusters.total_records = 100;
+  config.clusters.max_cluster_size = 15;
+  config.seed = 35;
+  StreamingPaperSource source(config, /*scale_factor=*/2);
+
+  CandidateGeneratorOptions options;
+  options.token_join_threshold = 0.4;
+  options.min_likelihood = 0.4;
+  ShardedJoinOptions sharding;
+  sharding.num_threads = 2;
+  std::vector<int32_t> entity_of;
+  const CandidateSet candidates =
+      GenerateCandidatesStreaming(source, nullptr, options, sharding,
+                                  &entity_of)
+          .value();
+  EXPECT_EQ(entity_of.size(), 200u);
+  ASSERT_FALSE(candidates.empty());
+  for (const auto& pair : candidates) {
+    EXPECT_GE(pair.likelihood, options.min_likelihood);
+    EXPECT_LT(pair.a, pair.b);
+  }
+  // Deterministic: a fresh pass over the same stream yields the same set.
+  const CandidateSet again =
+      GenerateCandidatesStreaming(source, nullptr, options, sharding)
+          .value();
+  EXPECT_EQ(again, candidates);
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+#include "simjoin/sharded_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "simjoin/similarity_join.h"
+
+namespace crowdjoin {
+namespace {
+
+struct Corpus {
+  TokenDictionary dictionary;
+  std::vector<std::vector<int32_t>> docs;
+};
+
+Corpus MakeRandomCorpus(uint64_t seed, size_t num_docs, size_t vocabulary,
+                        size_t min_len, size_t max_len) {
+  Corpus corpus;
+  Rng rng(seed);
+  for (size_t d = 0; d < num_docs; ++d) {
+    const size_t len = min_len + rng.Index(max_len - min_len + 1);
+    std::vector<std::string> tokens;
+    for (size_t t = 0; t < len; ++t) {
+      tokens.push_back(StrFormat(
+          "w%llu", static_cast<unsigned long long>(rng.Index(vocabulary))));
+    }
+    corpus.docs.push_back(corpus.dictionary.AddDocument(tokens));
+  }
+  return corpus;
+}
+
+// The acceptance matrix: byte-identical ScoredPair output (pairs, scores,
+// order) at every tested (threads, shards, threshold) combination.
+constexpr int kThreadCounts[] = {0, 1, 2, 4, 8};
+constexpr int kShardCounts[] = {1, 2, 3, 7, 16};
+constexpr double kThresholds[] = {0.3, 0.5, 0.8, 1.0};
+
+TEST(ShardedSelfJoin, ByteIdenticalToSequentialAcrossMatrix) {
+  const Corpus corpus = MakeRandomCorpus(/*seed=*/901, /*num_docs=*/160,
+                                         /*vocabulary=*/70, 2, 12);
+  for (double threshold : kThresholds) {
+    const auto sequential =
+        PrefixFilterSelfJoin(corpus.docs, corpus.dictionary, threshold)
+            .value();
+    for (int shards : kShardCounts) {
+      for (int threads : kThreadCounts) {
+        ShardedJoinOptions options;
+        options.num_shards = shards;
+        options.num_threads = threads;
+        const auto sharded =
+            ShardedSelfJoin(corpus.docs, corpus.dictionary, threshold,
+                            options)
+                .value();
+        ASSERT_EQ(sharded, sequential)
+            << "threshold=" << threshold << " shards=" << shards
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedBipartiteJoin, ByteIdenticalToSequentialAcrossMatrix) {
+  const Corpus corpus = MakeRandomCorpus(/*seed=*/902, /*num_docs=*/180,
+                                         /*vocabulary=*/60, 2, 10);
+  const std::vector<std::vector<int32_t>> left(corpus.docs.begin(),
+                                               corpus.docs.begin() + 70);
+  const std::vector<std::vector<int32_t>> right(corpus.docs.begin() + 70,
+                                                corpus.docs.end());
+  for (double threshold : kThresholds) {
+    const auto sequential =
+        PrefixFilterBipartiteJoin(left, right, corpus.dictionary, threshold)
+            .value();
+    for (int shards : kShardCounts) {
+      for (int threads : kThreadCounts) {
+        ShardedJoinOptions options;
+        options.num_shards = shards;
+        options.num_threads = threads;
+        const auto sharded = ShardedBipartiteJoin(left, right,
+                                                  corpus.dictionary,
+                                                  threshold, options)
+                                 .value();
+        ASSERT_EQ(sharded, sequential)
+            << "threshold=" << threshold << " shards=" << shards
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardedSelfJoin, MatchesBruteForceOnRandomSeeds) {
+  for (uint64_t seed = 950; seed < 955; ++seed) {
+    const Corpus corpus =
+        MakeRandomCorpus(seed, /*num_docs=*/90, /*vocabulary=*/40, 3, 9);
+    for (double threshold : {0.4, 0.7}) {
+      ShardedJoinOptions options;
+      options.num_shards = 5;
+      options.num_threads = 2;
+      const auto sharded =
+          ShardedSelfJoin(corpus.docs, corpus.dictionary, threshold, options)
+              .value();
+      auto brute = BruteForceSelfJoin(corpus.docs, threshold);
+      std::sort(brute.begin(), brute.end(),
+                [](const ScoredPair& a, const ScoredPair& b) {
+                  if (a.left != b.left) return a.left < b.left;
+                  return a.right < b.right;
+                });
+      EXPECT_EQ(sharded, brute) << "seed=" << seed
+                                << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(ShardedSelfJoiner, StreamingIngestMatchesBulkWrapper) {
+  const Corpus corpus = MakeRandomCorpus(/*seed=*/903, /*num_docs=*/120,
+                                         /*vocabulary=*/50, 2, 10);
+  ShardedSelfJoiner joiner(/*num_shards=*/4);
+  for (const auto& doc : corpus.docs) joiner.Add(doc);
+  EXPECT_EQ(joiner.num_docs(), 120);
+  ThreadPool pool(3);
+  const auto streamed = joiner.Finish(corpus.dictionary, 0.5, &pool).value();
+  ShardedJoinOptions options;
+  options.num_shards = 4;
+  const auto bulk =
+      ShardedSelfJoin(corpus.docs, corpus.dictionary, 0.5, options).value();
+  EXPECT_EQ(streamed, bulk);
+}
+
+TEST(ShardedSelfJoiner, FinishIsRepeatableAtMultipleThresholds) {
+  const Corpus corpus = MakeRandomCorpus(/*seed=*/904, /*num_docs=*/80,
+                                         /*vocabulary=*/40, 2, 8);
+  ShardedSelfJoiner joiner(/*num_shards=*/3);
+  for (const auto& doc : corpus.docs) joiner.Add(doc);
+  for (double threshold : {0.3, 0.6, 0.9}) {
+    const auto first =
+        joiner.Finish(corpus.dictionary, threshold, nullptr).value();
+    const auto second =
+        joiner.Finish(corpus.dictionary, threshold, nullptr).value();
+    EXPECT_EQ(first, second) << "threshold=" << threshold;
+    const auto sequential =
+        PrefixFilterSelfJoin(corpus.docs, corpus.dictionary, threshold)
+            .value();
+    EXPECT_EQ(first, sequential) << "threshold=" << threshold;
+  }
+}
+
+TEST(ShardedSelfJoin, EmptyAndDegenerateInputs) {
+  TokenDictionary dict;
+  ShardedJoinOptions options;
+  options.num_shards = 4;
+  // Empty corpus.
+  EXPECT_TRUE(ShardedSelfJoin({}, dict, 0.5, options).value().empty());
+  // All-empty docs produce nothing (mirrors the sequential join).
+  std::vector<std::vector<int32_t>> empties(5);
+  EXPECT_TRUE(
+      ShardedSelfJoin(empties, dict, 0.5, options).value().empty());
+  // Bipartite with empty docs mixed in on both sides: byte-identical to
+  // the sequential join (which must also survive empty left docs).
+  std::vector<std::vector<int32_t>> left = {{}, dict.AddDocument({"a", "b"})};
+  std::vector<std::vector<int32_t>> right = {{},
+                                             dict.AddDocument({"a", "b"})};
+  EXPECT_EQ(ShardedBipartiteJoin(left, right, dict, 0.5, options).value(),
+            PrefixFilterBipartiteJoin(left, right, dict, 0.5).value());
+  // Fewer docs than shards.
+  std::vector<std::vector<int32_t>> docs;
+  docs.push_back(dict.AddDocument({"a", "b"}));
+  docs.push_back(dict.AddDocument({"a", "b"}));
+  options.num_shards = 16;
+  const auto result = ShardedSelfJoin(docs, dict, 1.0, options).value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].left, 0);
+  EXPECT_EQ(result[0].right, 1);
+}
+
+TEST(ShardedSelfJoin, InvalidThresholdsAreRejected) {
+  const TokenDictionary dict;
+  const ShardedJoinOptions options;
+  EXPECT_EQ(ShardedSelfJoin({}, dict, 0.0, options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardedSelfJoin({}, dict, 1.5, options).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ShardedBipartiteJoin({}, {}, dict, -0.5, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace crowdjoin

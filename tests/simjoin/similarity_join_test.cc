@@ -81,6 +81,23 @@ TEST(PrefixFilterSelfJoin, EmptyDocsProduceNothing) {
   EXPECT_TRUE(PrefixFilterSelfJoin(docs, dict, 0.5).value().empty());
 }
 
+TEST(PrefixFilterBipartiteJoin, EmptyDocsOnEitherSideProduceNothing) {
+  // Regression: an empty *left* document used to be assigned prefix
+  // length 1 and the index build read past its (null) token array.
+  TokenDictionary dict;
+  std::vector<std::vector<int32_t>> left;
+  left.push_back({});
+  left.push_back(dict.AddDocument({"a", "b"}));
+  std::vector<std::vector<int32_t>> right;
+  right.push_back({});
+  right.push_back(dict.AddDocument({"a", "b"}));
+  const auto result = PrefixFilterBipartiteJoin(left, right, dict, 0.5)
+                          .value();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].left, 1);
+  EXPECT_EQ(result[0].right, 1);
+}
+
 class SelfJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SelfJoinPropertyTest, MatchesBruteForceAcrossThresholds) {
