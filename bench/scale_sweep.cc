@@ -51,6 +51,12 @@ int main(int argc, char** argv) {
   const double threshold = args.GetDouble("threshold", 0.5);
   const bool campaign = args.GetUint64("campaign", 1) != 0;
   const uint64_t seed = args.GetUint64("seed", 42);
+  // Optional join-output drift guard: fail (exit 1) unless the machine
+  // step produces exactly this many candidates. CI runs the SF 10 smoke
+  // with the seed-stable count so optimization PRs can't silently change
+  // the join's output.
+  const uint64_t expect_candidates =
+      args.GetUint64("expect_candidates", 0);
   const bool product = HasFlag(argc, argv, "--dataset=product");
 
   std::printf(
@@ -102,6 +108,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(total), secs * 1e3,
                 static_cast<double>(total) / secs,
                 static_cast<long long>(candidates.size()));
+  }
+  if (expect_candidates != 0 && candidates.size() != expect_candidates) {
+    std::fprintf(stderr,
+                 "FATAL: join produced %llu candidates, expected %llu — "
+                 "join output drifted\n",
+                 static_cast<unsigned long long>(candidates.size()),
+                 static_cast<unsigned long long>(expect_candidates));
+    return 1;
   }
 
   // Phase 2: transitive labeling (the full campaign).

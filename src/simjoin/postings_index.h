@@ -1,0 +1,227 @@
+#ifndef CROWDJOIN_SIMJOIN_POSTINGS_INDEX_H_
+#define CROWDJOIN_SIMJOIN_POSTINGS_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "text/set_similarity.h"
+
+namespace crowdjoin {
+
+/// One prefix-index entry: the document holding the token and the token's
+/// position within that document's rank-ordered prefix — the position is
+/// what powers the PPJoin positional filter.
+struct Posting {
+  int32_t doc = 0;
+  int32_t pos = 0;
+};
+
+/// \brief Flat, arena-backed postings table over dense token ranks.
+///
+/// Token ids (and the rarity ranks derived from them) are dense, so the
+/// prefix index needs no hashing: `Build` turns per-token posting counts
+/// into a CSR offset table over one flat `Posting` array, and `Append`
+/// fills each token's pre-sized slot through a write cursor. Lookups read
+/// the *filled* range `[offsets[t], cursors[t])`, which makes the same
+/// structure serve both fully built indexes (bipartite left side, shard
+/// indexes) and the self-join's incremental index, where documents are
+/// appended as the probe sweep passes them.
+///
+/// Every join path shares this table; the fill order is the caller's
+/// contract with itself — both sequential and sharded joins append in
+/// ascending document length so `GatherPositionalCandidates` can
+/// binary-search the length window instead of length-testing every
+/// posting.
+class PostingsArena {
+ public:
+  /// Sizes the arena: `counts[t]` postings will be appended for token t.
+  /// Resets all cursors to empty.
+  void Build(const std::vector<int32_t>& counts) {
+    offsets_.assign(counts.size() + 1, 0);
+    for (size_t t = 0; t < counts.size(); ++t) {
+      offsets_[t + 1] = offsets_[t] + counts[t];
+    }
+    cursors_.assign(offsets_.begin(), offsets_.end() - 1);
+    postings_.resize(static_cast<size_t>(offsets_.back()));
+  }
+
+  /// Appends one posting into `token`'s slot. The caller must not exceed
+  /// the count it declared in `Build`.
+  void Append(int32_t token, int32_t doc, int32_t pos) {
+    postings_[static_cast<size_t>(cursors_[static_cast<size_t>(token)]++)] =
+        {doc, pos};
+  }
+
+  /// Filled postings of `token`: `[begin, end)`.
+  const Posting* begin(int32_t token) const {
+    return postings_.data() + offsets_[static_cast<size_t>(token)];
+  }
+  const Posting* end(int32_t token) const {
+    return postings_.data() + cursors_[static_cast<size_t>(token)];
+  }
+
+  size_t num_tokens() const { return cursors_.size(); }
+  size_t size() const { return postings_.size(); }
+
+ private:
+  std::vector<int32_t> offsets_;  ///< token -> slot begin; size tokens + 1
+  std::vector<int32_t> cursors_;  ///< token -> filled end within its slot
+  std::vector<Posting> postings_;
+};
+
+/// Rank-encodes a document: maps token ids through the rarity permutation
+/// and sorts ascending. The result is the document in `SortByRarity`
+/// order, represented so that plain int32 comparisons *are* the rarity
+/// order — prefixes are leading slices and verification merges ranks
+/// directly.
+inline void RankEncode(const std::vector<int32_t>& doc,
+                       const std::vector<int32_t>& ranks,
+                       std::vector<int32_t>& out) {
+  out.resize(doc.size());
+  for (size_t k = 0; k < doc.size(); ++k) {
+    out[k] = ranks[static_cast<size_t>(doc[k])];
+  }
+  std::sort(out.begin(), out.end());
+}
+
+/// In-place range variant of `RankEncode` for documents living in flat
+/// arena buffers (the sharded join's shards).
+inline void RankEncodeRange(int32_t* first, int32_t* last,
+                            const std::vector<int32_t>& ranks) {
+  for (int32_t* p = first; p != last; ++p) {
+    *p = ranks[static_cast<size_t>(*p)];
+  }
+  std::sort(first, last);
+}
+
+/// \brief Builds a fully populated arena over `num_tokens` dense token
+/// ranks from `n` documents' prefixes, filling every token's postings in
+/// ascending (length, doc id) order — the exact contract
+/// `GatherPositionalCandidates`' binary-searched length window depends
+/// on, encoded here once for every join path that indexes up front.
+///
+/// `prefix_of(d)` returns the document's rank-encoded token pointer;
+/// `lens[d]` its length; `prefix_lens[d]` how many leading tokens are
+/// indexed. (The sequential self-join doesn't use this: it sizes the
+/// arena from the same counts but fills incrementally during its
+/// ascending-size sweep, which yields the same order.)
+template <typename PrefixOf>
+inline void BuildLengthOrderedPostings(PostingsArena& index,
+                                       size_t num_tokens,
+                                       const std::vector<size_t>& lens,
+                                       const std::vector<int32_t>& prefix_lens,
+                                       PrefixOf prefix_of) {
+  const size_t n = lens.size();
+  std::vector<int32_t> counts(num_tokens, 0);
+  for (size_t d = 0; d < n; ++d) {
+    const int32_t* prefix = prefix_of(static_cast<int32_t>(d));
+    const auto prefix_len = static_cast<size_t>(prefix_lens[d]);
+    for (size_t p = 0; p < prefix_len; ++p) ++counts[prefix[p]];
+  }
+  std::vector<int32_t> by_size(n);
+  for (size_t d = 0; d < n; ++d) by_size[d] = static_cast<int32_t>(d);
+  std::sort(by_size.begin(), by_size.end(),
+            [&lens](int32_t x, int32_t y) {
+              const size_t lx = lens[static_cast<size_t>(x)];
+              const size_t ly = lens[static_cast<size_t>(y)];
+              if (lx != ly) return lx < ly;
+              return x < y;
+            });
+  index.Build(counts);
+  for (const int32_t d : by_size) {
+    const int32_t* prefix = prefix_of(d);
+    const auto prefix_len =
+        static_cast<size_t>(prefix_lens[static_cast<size_t>(d)]);
+    for (size_t p = 0; p < prefix_len; ++p) {
+      index.Append(prefix[p], d, static_cast<int32_t>(p));
+    }
+  }
+}
+
+/// A candidate that survived the length window and the positional filter,
+/// plus the seed for resumed verification: the first shared prefix token
+/// sits at `probe_pos` in the probe document and `index_pos` in the
+/// candidate — verification restarts just past it with one overlap
+/// banked instead of re-merging the matched prefixes.
+struct JoinCandidate {
+  int32_t doc = 0;
+  int32_t probe_pos = 0;
+  int32_t index_pos = 0;
+};
+
+/// \brief The candidate-gather loop shared by every join path: probe one
+/// document's prefix against a postings arena, deduplicate via
+/// `last_seen`, window by length, and prune with the PPJoin positional
+/// filter.
+///
+/// `len_of(doc)` returns a candidate document's size; `skip(doc)` is an
+/// extra reject (the sharded self-join's same-shard ordering rule) that
+/// still marks `last_seen`. `probe_mark` must be unique per probe
+/// document against a given `last_seen` array (initialized to -1).
+///
+/// Length window: postings lists must be sorted ascending by
+/// `len_of(doc)`; the `[min_len, max_len]` window is then located by
+/// binary search, with O(1) endpoint pre-checks so fully qualifying lists
+/// (the common case) skip the searches. Pass a huge `max_len` when only
+/// the lower bound applies (the sequential self-join indexes only
+/// shorter-or-equal documents).
+///
+/// Positional filter: `last_seen` dedupe means a candidate is visited at
+/// the *first* shared prefix token, where no smaller-rank token is
+/// common (a smaller common token would sit inside both prefixes and
+/// would have matched earlier). The total overlap is therefore at most
+/// this token plus everything after it on both sides; candidates whose
+/// bound cannot reach `RequiredOverlap` are dropped before verification
+/// ever touches them — exactly the pairs `BoundedJaccard` would have
+/// rejected, so join output is unchanged.
+template <typename LenOf, typename Skip>
+inline void GatherPositionalCandidates(
+    const PostingsArena& index, const int32_t* probe_prefix,
+    size_t prefix_len, size_t probe_len, double threshold, size_t min_len,
+    size_t max_len, int32_t probe_mark, std::vector<int32_t>& last_seen,
+    LenOf len_of, Skip skip, std::vector<JoinCandidate>& out) {
+  // Within one probe the required overlap depends only on the candidate
+  // length, and postings arrive in ascending-length runs — memoize the
+  // last (len -> required) pair instead of paying the fp divide + ceil
+  // per posting. Same function, same arguments: bit-identical results.
+  size_t memo_len = std::numeric_limits<size_t>::max();
+  size_t memo_required = 0;
+  for (size_t p = 0; p < prefix_len; ++p) {
+    const int32_t token = probe_prefix[p];
+    const Posting* begin = index.begin(token);
+    const Posting* end = index.end(token);
+    if (begin == end) continue;
+    if (len_of(begin->doc) < min_len) {
+      begin = std::partition_point(begin, end, [&](const Posting& e) {
+        return len_of(e.doc) < min_len;
+      });
+    }
+    if (begin != end && len_of((end - 1)->doc) > max_len) {
+      end = std::partition_point(begin, end, [&](const Posting& e) {
+        return len_of(e.doc) <= max_len;
+      });
+    }
+    for (const Posting* it = begin; it != end; ++it) {
+      const int32_t doc = it->doc;
+      if (last_seen[static_cast<size_t>(doc)] == probe_mark) continue;
+      last_seen[static_cast<size_t>(doc)] = probe_mark;
+      if (skip(doc)) continue;
+      const size_t len = len_of(doc);
+      if (len != memo_len) {
+        memo_len = len;
+        memo_required = RequiredOverlap(threshold, probe_len, len);
+      }
+      const size_t upper_bound =
+          1 + std::min(probe_len - p - 1,
+                       len - static_cast<size_t>(it->pos) - 1);
+      if (upper_bound < memo_required) continue;
+      out.push_back({doc, static_cast<int32_t>(p), it->pos});
+    }
+  }
+}
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SIMJOIN_POSTINGS_INDEX_H_

@@ -1,10 +1,11 @@
 #include "simjoin/sharded_join.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
 #include <utility>
 
 #include "common/macros.h"
+#include "simjoin/postings_index.h"
 #include "simjoin/prefix_filter.h"
 #include "text/set_similarity.h"
 
@@ -62,41 +63,43 @@ void ShardedSelfJoiner::Add(const std::vector<int32_t>& doc) {
 // ---------------------------------------------------------------------------
 
 struct ShardedSelfJoiner::Prepared {
-  /// Rarity-ordered copy of the shard's tokens (same offsets as the raw
-  /// shard), from which prefixes are read.
-  std::vector<int32_t> rarity;
+  /// Rank-encoded copy of the shard's tokens (same offsets as the raw
+  /// shard): ascending rank == rarity order, so prefixes are leading
+  /// slices and verification merges plain ranks.
+  std::vector<int32_t> rank_tokens;
   /// Prefix length of each document at the join threshold.
   std::vector<int32_t> prefix_len;
-  /// Prefix index: token id -> local doc positions whose prefix holds it.
-  std::unordered_map<int32_t, std::vector<int32_t>> index;
+  /// Document lengths, flat — the hot lookup of the gather's length
+  /// window.
+  std::vector<size_t> lens;
+  /// Flat prefix postings over dense ranks, each token's list filled in
+  /// ascending (length, local id) order for the binary-searched window.
+  PostingsArena index;
 };
 
 ShardedSelfJoiner::Prepared ShardedSelfJoiner::Prepare(
-    const Shard& shard, const TokenDictionary& dict, double threshold,
+    const Shard& shard, const std::vector<int32_t>& ranks, double threshold,
     bool build_index) {
   Prepared prepared;
-  prepared.rarity = shard.tokens;
+  prepared.rank_tokens = shard.tokens;
   const size_t n = shard.size();
   prepared.prefix_len.resize(n);
-  size_t total_prefix = 0;
+  prepared.lens.resize(n);
   for (size_t d = 0; d < n; ++d) {
-    int32_t* begin = prepared.rarity.data() + shard.offsets[d];
-    int32_t* end = prepared.rarity.data() + shard.offsets[d + 1];
-    dict.SortByRarity(begin, end);
+    int32_t* begin = prepared.rank_tokens.data() + shard.offsets[d];
+    int32_t* end = prepared.rank_tokens.data() + shard.offsets[d + 1];
+    RankEncodeRange(begin, end, ranks);
     const auto len = static_cast<size_t>(end - begin);
-    const size_t prefix = PrefixLength(threshold, len);
-    prepared.prefix_len[d] = static_cast<int32_t>(prefix);
-    total_prefix += prefix;
+    prepared.lens[d] = len;
+    prepared.prefix_len[d] = static_cast<int32_t>(PrefixLength(threshold, len));
   }
   if (build_index) {
-    prepared.index.reserve(std::min(total_prefix, dict.size()));
-    for (size_t d = 0; d < n; ++d) {
-      const int32_t* prefix = prepared.rarity.data() + shard.offsets[d];
-      const auto prefix_len = static_cast<size_t>(prepared.prefix_len[d]);
-      for (size_t p = 0; p < prefix_len; ++p) {
-        prepared.index[prefix[p]].push_back(static_cast<int32_t>(d));
-      }
-    }
+    BuildLengthOrderedPostings(
+        prepared.index, ranks.size(), prepared.lens, prepared.prefix_len,
+        [&prepared, &shard](int32_t d) {
+          return prepared.rank_tokens.data() +
+                 shard.offsets[static_cast<size_t>(d)];
+        });
   }
   return prepared;
 }
@@ -112,46 +115,40 @@ void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
                                   bool bipartite_emit, double threshold,
                                   std::vector<ScoredPair>& out) {
   std::vector<int32_t> last_seen(target_raw.size(), -1);
-  std::vector<int32_t> candidates;  // scratch, reused across probe docs
+  std::vector<JoinCandidate> candidates;  // scratch, reused across probes
+  const auto len_of = [&target](int32_t doc) {
+    return target.lens[static_cast<size_t>(doc)];
+  };
   for (size_t j = 0; j < probe_raw.size(); ++j) {
     const int64_t begin_j = probe_raw.offsets[j];
-    const auto len_j =
-        static_cast<size_t>(probe_raw.offsets[j + 1] - begin_j);
+    const size_t len_j = probe.lens[j];
     if (len_j == 0) continue;
     const auto prefix_j = static_cast<size_t>(probe.prefix_len[j]);
     const size_t min_len = CeilThresholdLength(threshold, len_j);
     const size_t max_len = FloorThresholdLength(threshold, len_j);
+    const int32_t* probe_ranks =
+        probe.rank_tokens.data() + static_cast<size_t>(begin_j);
 
     candidates.clear();
-    for (size_t p = 0; p < prefix_j; ++p) {
-      const int32_t token =
-          probe.rarity[static_cast<size_t>(begin_j) + p];
-      const auto postings = target.index.find(token);
-      if (postings == target.index.end()) continue;
-      for (const int32_t i : postings->second) {
-        if (last_seen[static_cast<size_t>(i)] == static_cast<int32_t>(j)) {
-          continue;
-        }
-        last_seen[static_cast<size_t>(i)] = static_cast<int32_t>(j);
-        // Same-shard tasks emit each unordered pair once: only the earlier
-        // (smaller-global-id, i.e. smaller local position) partner.
-        if (same_shard && i >= static_cast<int32_t>(j)) continue;
-        const auto len_i = static_cast<size_t>(
-            target_raw.offsets[static_cast<size_t>(i) + 1] -
-            target_raw.offsets[static_cast<size_t>(i)]);
-        if (len_i < min_len || len_i > max_len) continue;
-        candidates.push_back(i);
-      }
-    }
-    for (const int32_t i : candidates) {
-      const int64_t begin_i = target_raw.offsets[static_cast<size_t>(i)];
-      const auto len_i = static_cast<size_t>(
-          target_raw.offsets[static_cast<size_t>(i) + 1] - begin_i);
-      const double score = BoundedJaccard(
-          target_raw.tokens.data() + begin_i, len_i,
-          probe_raw.tokens.data() + begin_j, len_j, threshold);
+    // Same-shard tasks emit each unordered pair once: only the earlier
+    // (smaller-global-id, i.e. smaller local position) partner.
+    const auto skip = [same_shard, j](int32_t i) {
+      return same_shard && i >= static_cast<int32_t>(j);
+    };
+    GatherPositionalCandidates(target.index, probe_ranks, prefix_j, len_j,
+                               threshold, min_len, max_len,
+                               static_cast<int32_t>(j), last_seen, len_of,
+                               skip, candidates);
+    for (const JoinCandidate& cand : candidates) {
+      const auto i = static_cast<size_t>(cand.doc);
+      const int32_t* target_ranks =
+          target.rank_tokens.data() + target_raw.offsets[i];
+      const double score = BoundedJaccardSeeded(
+          target_ranks, target.lens[i], probe_ranks, len_j,
+          static_cast<size_t>(cand.index_pos) + 1,
+          static_cast<size_t>(cand.probe_pos) + 1, 1, threshold);
       if (score + 1e-12 >= threshold) {
-        const int32_t gi = target_raw.doc_ids[static_cast<size_t>(i)];
+        const int32_t gi = target_raw.doc_ids[i];
         const int32_t gj = probe_raw.doc_ids[j];
         if (bipartite_emit) {
           out.push_back({gi, gj, score});
@@ -173,11 +170,15 @@ Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
   const auto num_shards = static_cast<int64_t>(shards_.size());
 
-  // Phase 1: every shard's rarity order + prefix index, in parallel.
+  // The rarity permutation is dictionary-wide: compute it once, share it
+  // with every per-shard preparation task.
+  const std::vector<int32_t> ranks = dictionary.RarityRanks();
+
+  // Phase 1: every shard's rank order + prefix postings, in parallel.
   std::vector<Prepared> prepared =
       ParallelMap(pool, num_shards, [&](int64_t s) {
-        return Prepare(shards_[static_cast<size_t>(s)], dictionary,
-                       threshold, /*build_index=*/true);
+        return Prepare(shards_[static_cast<size_t>(s)], ranks, threshold,
+                       /*build_index=*/true);
       });
 
   // Phase 2: one task per unordered shard pairing (a <= b): probe shard
@@ -224,17 +225,19 @@ Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
   const auto left_shards = static_cast<int64_t>(left_.shards_.size());
   const auto right_shards = static_cast<int64_t>(right_.shards_.size());
 
+  const std::vector<int32_t> ranks = dictionary.RarityRanks();
+
   // Left shards carry the index; right shards only need prefixes.
   std::vector<ShardedSelfJoiner::Prepared> left_prepared =
       ParallelMap(pool, left_shards, [&](int64_t s) {
         return ShardedSelfJoiner::Prepare(
-            left_.shards_[static_cast<size_t>(s)], dictionary, threshold,
+            left_.shards_[static_cast<size_t>(s)], ranks, threshold,
             /*build_index=*/true);
       });
   std::vector<ShardedSelfJoiner::Prepared> right_prepared =
       ParallelMap(pool, right_shards, [&](int64_t s) {
         return ShardedSelfJoiner::Prepare(
-            right_.shards_[static_cast<size_t>(s)], dictionary, threshold,
+            right_.shards_[static_cast<size_t>(s)], ranks, threshold,
             /*build_index=*/false);
       });
 

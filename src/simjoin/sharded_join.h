@@ -75,10 +75,13 @@ class ShardedSelfJoiner {
     size_t size() const { return doc_ids.size(); }
   };
 
-  /// Per-shard rarity order + prefix index, built in parallel by `Finish`.
+  /// Per-shard rank order + flat prefix postings, built in parallel by
+  /// `Finish` from the dictionary-wide rarity permutation (computed once
+  /// and shared across shards).
   struct Prepared;
 
-  static Prepared Prepare(const Shard& shard, const TokenDictionary& dict,
+  static Prepared Prepare(const Shard& shard,
+                          const std::vector<int32_t>& ranks,
                           double threshold, bool build_index);
   static void ProbeTask(const Shard& target_raw, const Prepared& target,
                         const Shard& probe_raw, const Prepared& probe,

@@ -1,13 +1,22 @@
 #include "simjoin/similarity_join.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <limits>
+#include <numeric>
 
 #include "common/macros.h"
+#include "simjoin/postings_index.h"
 #include "simjoin/prefix_filter.h"
 #include "text/set_similarity.h"
 
 namespace crowdjoin {
+
+namespace {
+
+constexpr size_t kNoMaxLen = std::numeric_limits<size_t>::max();
+constexpr auto kNoSkip = [](int32_t) { return false; };
+
+}  // namespace
 
 Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
     const std::vector<std::vector<int32_t>>& docs,
@@ -18,7 +27,7 @@ Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
   // Process docs in ascending size so the length filter |y| >= t|x| holds
   // for everything already indexed when x arrives.
   std::vector<int32_t> by_size(n);
-  for (size_t i = 0; i < n; ++i) by_size[i] = static_cast<int32_t>(i);
+  std::iota(by_size.begin(), by_size.end(), 0);
   std::sort(by_size.begin(), by_size.end(), [&docs](int32_t x, int32_t y) {
     if (docs[static_cast<size_t>(x)].size() !=
         docs[static_cast<size_t>(y)].size()) {
@@ -28,50 +37,61 @@ Result<std::vector<ScoredPair>> PrefixFilterSelfJoin(
     return x < y;
   });
 
-  // Rarity-ordered copies for prefix extraction.
-  std::vector<std::vector<int32_t>> by_rarity(n);
+  // Rank-encoded copies: ascending rank order == rarity order, so
+  // prefixes are leading slices and verification merges plain ranks.
+  const std::vector<int32_t> ranks = dictionary.RarityRanks();
+  std::vector<std::vector<int32_t>> rank_docs(n);
+  std::vector<size_t> lens(n);
+  std::vector<int32_t> prefix_lens(n);
+  std::vector<int32_t> counts(dictionary.size(), 0);
   for (size_t i = 0; i < n; ++i) {
-    by_rarity[i] = docs[i];
-    dictionary.SortByRarity(by_rarity[i]);
+    RankEncode(docs[i], ranks, rank_docs[i]);
+    lens[i] = docs[i].size();
+    const size_t prefix = PrefixLength(threshold, lens[i]);
+    prefix_lens[i] = static_cast<int32_t>(prefix);
+    for (size_t p = 0; p < prefix; ++p) ++counts[rank_docs[i][p]];
   }
 
-  std::unordered_map<int32_t, std::vector<int32_t>> index;
-  index.reserve(dictionary.size());
+  // The index fills as the sweep passes each document, so every token's
+  // postings run ascending in document size — exactly what the gather's
+  // binary-searched length window requires.
+  PostingsArena index;
+  index.Build(counts);
+  const auto len_of = [&lens](int32_t doc) {
+    return lens[static_cast<size_t>(doc)];
+  };
+
   std::vector<int32_t> last_seen(n, -1);
   // Scratch candidate buffer, reused across probes: the probe phase only
-  // gathers ids, and verification runs afterwards as one tight batch.
-  std::vector<int32_t> candidates;
+  // gathers ids + seed positions, and verification runs afterwards as one
+  // tight batch.
+  std::vector<JoinCandidate> candidates;
   std::vector<ScoredPair> out;
 
   for (size_t step = 0; step < n; ++step) {
     const int32_t x = by_size[step];
-    const auto& rarity_x = by_rarity[static_cast<size_t>(x)];
-    const size_t len_x = rarity_x.size();
+    const auto& rank_x = rank_docs[static_cast<size_t>(x)];
+    const size_t len_x = rank_x.size();
     if (len_x == 0) continue;
-    const size_t prefix_x = PrefixLength(threshold, len_x);
+    const auto prefix_x = static_cast<size_t>(prefix_lens[static_cast<size_t>(x)]);
     const size_t min_len_y = CeilThresholdLength(threshold, len_x);
 
     candidates.clear();
-    for (size_t p = 0; p < prefix_x; ++p) {
-      auto it = index.find(rarity_x[p]);
-      if (it == index.end()) continue;
-      for (const int32_t y : it->second) {
-        if (last_seen[static_cast<size_t>(y)] == x) continue;  // dedupe
-        last_seen[static_cast<size_t>(y)] = x;
-        if (docs[static_cast<size_t>(y)].size() < min_len_y) continue;
-        candidates.push_back(y);
-      }
-    }
-    for (const int32_t y : candidates) {
-      const double score = BoundedJaccard(docs[static_cast<size_t>(x)],
-                                          docs[static_cast<size_t>(y)],
-                                          threshold);
+    GatherPositionalCandidates(index, rank_x.data(), prefix_x, len_x,
+                               threshold, min_len_y, kNoMaxLen, x, last_seen,
+                               len_of, kNoSkip, candidates);
+    for (const JoinCandidate& cand : candidates) {
+      const auto& rank_y = rank_docs[static_cast<size_t>(cand.doc)];
+      const double score = BoundedJaccardSeeded(
+          rank_x.data(), len_x, rank_y.data(), rank_y.size(),
+          static_cast<size_t>(cand.probe_pos) + 1,
+          static_cast<size_t>(cand.index_pos) + 1, 1, threshold);
       if (score + 1e-12 >= threshold) {
-        out.push_back({std::min(x, y), std::max(x, y), score});
+        out.push_back({std::min(x, cand.doc), std::max(x, cand.doc), score});
       }
     }
     for (size_t p = 0; p < prefix_x; ++p) {
-      index[rarity_x[p]].push_back(x);
+      index.Append(rank_x[p], x, static_cast<int32_t>(p));
     }
   }
   SortByPairOrder(out);
@@ -83,51 +103,54 @@ Result<std::vector<ScoredPair>> PrefixFilterBipartiteJoin(
     const std::vector<std::vector<int32_t>>& right,
     const TokenDictionary& dictionary, double threshold) {
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
+  const size_t n = left.size();
 
-  // Index the left side's prefixes.
-  std::unordered_map<int32_t, std::vector<int32_t>> index;
-  index.reserve(dictionary.size());
-  std::vector<std::vector<int32_t>> left_rarity(left.size());
-  for (size_t i = 0; i < left.size(); ++i) {
-    left_rarity[i] = left[i];
-    dictionary.SortByRarity(left_rarity[i]);
-    const size_t prefix = PrefixLength(threshold, left_rarity[i].size());
-    for (size_t p = 0; p < prefix; ++p) {
-      index[left_rarity[i][p]].push_back(static_cast<int32_t>(i));
-    }
+  // Rank-encode and index the left side's prefixes; the shared builder
+  // fills each token's postings in ascending (length, id) order so the
+  // probe side can binary-search its [min_len, max_len] window.
+  const std::vector<int32_t> ranks = dictionary.RarityRanks();
+  std::vector<std::vector<int32_t>> left_ranks(n);
+  std::vector<size_t> lens(n);
+  std::vector<int32_t> prefix_lens(n);
+  for (size_t i = 0; i < n; ++i) {
+    RankEncode(left[i], ranks, left_ranks[i]);
+    lens[i] = left[i].size();
+    prefix_lens[i] = static_cast<int32_t>(PrefixLength(threshold, lens[i]));
   }
+  PostingsArena index;
+  BuildLengthOrderedPostings(index, dictionary.size(), lens, prefix_lens,
+                             [&left_ranks](int32_t d) {
+                               return left_ranks[static_cast<size_t>(d)]
+                                   .data();
+                             });
+  const auto len_of = [&lens](int32_t doc) {
+    return lens[static_cast<size_t>(doc)];
+  };
 
-  std::vector<int32_t> last_seen(left.size(), -1);
-  std::vector<int32_t> candidates;
+  std::vector<int32_t> last_seen(n, -1);
+  std::vector<JoinCandidate> candidates;
   std::vector<ScoredPair> out;
-  std::vector<int32_t> rarity_s;
+  std::vector<int32_t> rank_s;
   for (size_t j = 0; j < right.size(); ++j) {
-    rarity_s = right[j];
-    dictionary.SortByRarity(rarity_s);
-    const size_t len_s = rarity_s.size();
+    RankEncode(right[j], ranks, rank_s);
+    const size_t len_s = rank_s.size();
     if (len_s == 0) continue;
     const size_t prefix_s = PrefixLength(threshold, len_s);
     const size_t min_len = CeilThresholdLength(threshold, len_s);
     const size_t max_len = FloorThresholdLength(threshold, len_s);
     candidates.clear();
-    for (size_t p = 0; p < prefix_s; ++p) {
-      auto it = index.find(rarity_s[p]);
-      if (it == index.end()) continue;
-      for (const int32_t r : it->second) {
-        if (last_seen[static_cast<size_t>(r)] == static_cast<int32_t>(j)) {
-          continue;
-        }
-        last_seen[static_cast<size_t>(r)] = static_cast<int32_t>(j);
-        const size_t len_r = left[static_cast<size_t>(r)].size();
-        if (len_r < min_len || len_r > max_len) continue;
-        candidates.push_back(r);
-      }
-    }
-    for (const int32_t r : candidates) {
-      const double score =
-          BoundedJaccard(left[static_cast<size_t>(r)], right[j], threshold);
+    GatherPositionalCandidates(index, rank_s.data(), prefix_s, len_s,
+                               threshold, min_len, max_len,
+                               static_cast<int32_t>(j), last_seen, len_of,
+                               kNoSkip, candidates);
+    for (const JoinCandidate& cand : candidates) {
+      const auto& rank_r = left_ranks[static_cast<size_t>(cand.doc)];
+      const double score = BoundedJaccardSeeded(
+          rank_r.data(), rank_r.size(), rank_s.data(), len_s,
+          static_cast<size_t>(cand.index_pos) + 1,
+          static_cast<size_t>(cand.probe_pos) + 1, 1, threshold);
       if (score + 1e-12 >= threshold) {
-        out.push_back({r, static_cast<int32_t>(j), score});
+        out.push_back({cand.doc, static_cast<int32_t>(j), score});
       }
     }
   }

@@ -48,4 +48,16 @@ void TokenDictionary::SortByRarity(int32_t* first, int32_t* last) const {
   });
 }
 
+std::vector<int32_t> TokenDictionary::RarityRanks() const {
+  const size_t n = frequency_.size();
+  std::vector<int32_t> by_rarity(n);
+  for (size_t i = 0; i < n; ++i) by_rarity[i] = static_cast<int32_t>(i);
+  SortByRarity(by_rarity.data(), by_rarity.data() + n);
+  std::vector<int32_t> ranks(n);
+  for (size_t r = 0; r < n; ++r) {
+    ranks[static_cast<size_t>(by_rarity[r])] = static_cast<int32_t>(r);
+  }
+  return ranks;
+}
+
 }  // namespace crowdjoin

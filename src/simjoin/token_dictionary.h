@@ -35,6 +35,17 @@ class TokenDictionary {
   /// (arena-style) buffers, as the sharded join stores them.
   void SortByRarity(int32_t* first, int32_t* last) const;
 
+  /// \brief The rarity permutation: `ranks[token_id]` is the token's rank
+  /// under (frequency asc, id asc), 0 = rarest.
+  ///
+  /// Rank-encoding a document and sorting the plain int32 ranks ascending
+  /// yields exactly the `SortByRarity` order — which is how the joins use
+  /// it: one O(V log V) pass here replaces a frequency-indirecting
+  /// comparator in every per-document sort, and downstream the single
+  /// rank order serves prefix extraction, dense postings-arena keys, and
+  /// the verification merge alike.
+  std::vector<int32_t> RarityRanks() const;
+
   /// Document frequency of a token id.
   int64_t Frequency(int32_t token_id) const {
     return frequency_[static_cast<size_t>(token_id)];
