@@ -13,8 +13,8 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "core/budget_labeler.h"
 #include "core/labeling_order.h"
+#include "core/labeling_session.h"
 #include "eval/metrics.h"
 #include "eval/workbench.h"
 
@@ -32,16 +32,12 @@ BudgetRow RunBudget(const CandidateSet& pairs,
                     const std::vector<int32_t>& order, int64_t budget,
                     const GroundTruthOracle& truth) {
   GroundTruthOracle oracle = truth;
-  const BudgetLabeler::RunResult result =
-      Unwrap(BudgetLabeler().Run(pairs, order, budget, oracle));
-  std::vector<Label> labels;
-  labels.reserve(pairs.size());
-  for (const auto& outcome : result.outcomes) {
-    labels.push_back(outcome.has_value() ? outcome->label
-                                         : Label::kNonMatching);
-  }
+  LabelingSessionOptions options;  // sequential schedule, capped stop
+  options.stop = StopPolicy::Budget(budget);
+  LabelingSession session(options);
+  const LabelingReport result = Unwrap(session.Run(pairs, order, oracle));
   return {result.num_crowdsourced + result.num_deduced,
-          ComputeQuality(pairs, labels, truth).f_measure};
+          ComputeQuality(pairs, ExtractFinalLabels(result), truth).f_measure};
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,8 +13,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/labeling_order.h"
-#include "core/one_to_one_labeler.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 #include "eval/metrics.h"
 #include "eval/workbench.h"
 
@@ -42,31 +42,31 @@ int main(int argc, char** argv) {
         pairs, OrderKind::kExpected, &truth, /*rng=*/nullptr));
 
     GroundTruthOracle oracle1 = truth;
-    const LabelingResult plain =
-        Unwrap(SequentialLabeler().Run(pairs, order, oracle1));
+    LabelingSession plain_session;  // sequential, transitive only
+    const LabelingReport plain =
+        Unwrap(plain_session.Run(pairs, order, oracle1));
     GroundTruthOracle oracle2 = truth;
-    const OneToOneLabeler::RunResult one_to_one =
-        Unwrap(OneToOneLabeler().Run(pairs, order, oracle2));
+    LabelingSession one_to_one_session;  // + the exclusivity rule plug-in
+    one_to_one_session.AddRule(std::make_unique<TransitiveDeductionRule>())
+        .AddRule(std::make_unique<OneToOneDeductionRule>());
+    const LabelingReport one_to_one =
+        Unwrap(one_to_one_session.Run(pairs, order, oracle2));
 
     // Quality of the one-to-one run: the rule can wrongly exclude a true
     // match when an entity has several records on one side.
-    std::vector<Label> labels;
-    labels.reserve(pairs.size());
-    for (const auto& outcome : one_to_one.labeling.outcomes) {
-      labels.push_back(outcome.label);
-    }
-    const QualityMetrics quality = ComputeQuality(pairs, labels, truth);
+    const QualityMetrics quality =
+        ComputeQuality(pairs, ExtractFinalLabels(one_to_one), truth);
 
     const double extra_saved =
         plain.num_crowdsourced == 0
             ? 0.0
             : 100.0 *
                   static_cast<double>(plain.num_crowdsourced -
-                                      one_to_one.labeling.num_crowdsourced) /
+                                      one_to_one.num_crowdsourced) /
                   static_cast<double>(plain.num_crowdsourced);
     table.AddRow({StrFormat("%.1f", threshold), std::to_string(pairs.size()),
                   std::to_string(plain.num_crowdsourced),
-                  std::to_string(one_to_one.labeling.num_crowdsourced),
+                  std::to_string(one_to_one.num_crowdsourced),
                   StrFormat("%.1f%%", extra_saved),
                   StrFormat("%.2f%%", 100.0 * quality.f_measure)});
   }

@@ -11,7 +11,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/labeling_order.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 #include "eval/workbench.h"
 
 namespace {
@@ -29,8 +29,8 @@ void RunSweep(const ExperimentInput& input) {
     const std::vector<int32_t> order = Unwrap(MakeLabelingOrder(
         pairs, OrderKind::kOptimal, &truth, /*rng=*/nullptr));
     GroundTruthOracle oracle = truth;  // fresh query counter
-    const LabelingResult result =
-        Unwrap(SequentialLabeler().Run(pairs, order, oracle));
+    LabelingSession session;  // sequential schedule, transitive rule
+    const LabelingReport result = Unwrap(session.Run(pairs, order, oracle));
     const double saved =
         pairs.empty() ? 0.0
                       : 100.0 * static_cast<double>(result.num_deduced) /

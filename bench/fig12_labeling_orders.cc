@@ -11,7 +11,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/labeling_order.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 #include "eval/workbench.h"
 
 namespace {
@@ -24,8 +24,8 @@ int64_t CountCrowdsourced(const CandidateSet& pairs, OrderKind kind,
   const std::vector<int32_t> order =
       Unwrap(MakeLabelingOrder(pairs, kind, &truth, &rng));
   GroundTruthOracle oracle = truth;
-  return Unwrap(SequentialLabeler().Run(pairs, order, oracle))
-      .num_crowdsourced;
+  LabelingSession session;  // sequential schedule, transitive rule
+  return Unwrap(session.Run(pairs, order, oracle)).num_crowdsourced;
 }
 
 void RunSweep(const ExperimentInput& input, uint64_t seed) {

@@ -7,10 +7,20 @@
 #include "common/macros.h"
 #include "common/timer.h"
 #include "core/labeling_order.h"
-#include "core/parallel_labeler.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 
 namespace crowdjoin::bench {
+
+namespace {
+
+LabelingSession MakeRoundSession(int num_threads) {
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kRoundParallel;
+  options.num_threads = num_threads;
+  return LabelingSession(options);
+}
+
+}  // namespace
 
 void RunParallelComparison(const ExperimentInput& input, double threshold,
                            int num_threads) {
@@ -20,23 +30,24 @@ void RunParallelComparison(const ExperimentInput& input, double threshold,
       pairs, OrderKind::kExpected, &truth, /*rng=*/nullptr));
 
   GroundTruthOracle oracle_seq = truth;
-  const LabelingResult sequential =
-      Unwrap(SequentialLabeler().Run(pairs, order, oracle_seq));
+  LabelingSession sequential_session;  // sequential schedule
+  const LabelingReport sequential =
+      Unwrap(sequential_session.Run(pairs, order, oracle_seq));
 
   GroundTruthOracle oracle_par = truth;
+  LabelingSession parallel_session = MakeRoundSession(num_threads);
   WallTimer timer;
-  const LabelingResult parallel =
-      Unwrap(ParallelLabeler(ConflictPolicy::kKeepFirst, num_threads)
-                 .Run(pairs, order, oracle_par));
+  const LabelingReport parallel =
+      Unwrap(parallel_session.Run(pairs, order, oracle_par));
   const double parallel_ms = timer.ElapsedMillis();
 
   // The determinism contract, re-checked on paper-scale data every
   // multi-threaded run (at 1 thread the comparison would be vacuous).
   if (num_threads > 1) {
     GroundTruthOracle oracle_base = truth;
-    const LabelingResult baseline = Unwrap(
-        ParallelLabeler(ConflictPolicy::kKeepFirst, /*num_threads=*/1)
-            .Run(pairs, order, oracle_base));
+    LabelingSession baseline_session = MakeRoundSession(1);
+    const LabelingReport baseline =
+        Unwrap(baseline_session.Run(pairs, order, oracle_base));
     CJ_CHECK(parallel == baseline);
   }
 

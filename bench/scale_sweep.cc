@@ -57,6 +57,11 @@ int main(int argc, char** argv) {
   // the join's output.
   const uint64_t expect_candidates =
       args.GetUint64("expect_candidates", 0);
+  // > 0 switches the campaign to round-by-round streaming labeling: every
+  // N sharded-join probe tasks feed one labeling round and the candidate
+  // set is never materialized (LabelingSession::RunStream).
+  const auto label_tasks_per_round =
+      static_cast<int64_t>(args.GetUint64("label_tasks_per_round", 0));
   const bool product = HasFlag(argc, argv, "--dataset=product");
 
   std::printf(
@@ -97,6 +102,40 @@ int main(int argc, char** argv) {
   ShardedJoinOptions sharding;
   sharding.num_threads = threads;
   sharding.num_shards = shards;
+
+  if (label_tasks_per_round > 0) {
+    // Round-by-round campaign: join tasks stream straight into the
+    // labeling session; peak candidate memory is one round.
+    StreamingCampaignConfig campaign_config;
+    campaign_config.candidates = options;
+    campaign_config.sharding = sharding;
+    campaign_config.crowd.num_threads = threads;
+    campaign_config.label_tasks_per_round = label_tasks_per_round;
+    WallTimer timer;
+    const StreamingCampaignStats stats = bench::Unwrap(
+        RunStreamingCampaign(*source, /*scorer=*/nullptr, campaign_config));
+    const double secs = timer.ElapsedSeconds();
+    std::printf("stream-campaign: %6lld records  %8.2f ms  "
+                "%lld candidates in %lld rounds "
+                "(%lld crowdsourced, %lld deduced, %lld unlabeled)\n",
+                static_cast<long long>(stats.num_records), secs * 1e3,
+                static_cast<long long>(stats.num_candidates),
+                static_cast<long long>(stats.labeling.num_stream_rounds),
+                static_cast<long long>(stats.labeling.num_crowdsourced),
+                static_cast<long long>(stats.labeling.num_deduced),
+                static_cast<long long>(stats.labeling.num_unlabeled));
+    if (expect_candidates != 0 &&
+        stats.num_candidates != static_cast<int64_t>(expect_candidates)) {
+      std::fprintf(stderr,
+                   "FATAL: campaign produced %lld candidates, expected %llu "
+                   "— join output drifted\n",
+                   static_cast<long long>(stats.num_candidates),
+                   static_cast<unsigned long long>(expect_candidates));
+      return 1;
+    }
+    std::printf("peak RSS  : %ld MiB\n", PeakRssMiB());
+    return 0;
+  }
   std::vector<int32_t> entity_of;
   WallTimer join_timer;
   const CandidateSet candidates = bench::Unwrap(GenerateCandidatesStreaming(
@@ -126,7 +165,7 @@ int main(int argc, char** argv) {
     WallTimer label_timer;
     const auto order = bench::Unwrap(MakeLabelingOrder(
         candidates, OrderKind::kExpected, &truth, nullptr));
-    const LabelingResult labeling = bench::Unwrap(
+    const LabelingReport labeling = bench::Unwrap(
         RunLocalParallelLabeling(candidates, order, crowd, truth));
     const double secs = label_timer.ElapsedSeconds();
     std::printf("labeling  : %10lld pairs    %8.2f ms  "

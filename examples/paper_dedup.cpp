@@ -9,7 +9,7 @@
 #include <string>
 
 #include "core/labeling_order.h"
-#include "core/parallel_labeler.h"
+#include "core/labeling_session.h"
 #include "datagen/paper_dataset.h"
 #include "eval/metrics.h"
 #include "simjoin/candidate_generator.h"
@@ -68,15 +68,14 @@ int main(int argc, char** argv) {
                                        &truth, /*rng=*/nullptr)
                          .value();
   GroundTruthOracle crowd = truth;  // simulated, always-correct workers
-  const LabelingResult result =
-      ParallelLabeler(ConflictPolicy::kKeepFirst, num_threads)
-          .Run(candidates, order, crowd)
-          .value();
+  LabelingSessionOptions session_options;
+  session_options.schedule = SchedulePolicy::kRoundParallel;
+  session_options.num_threads = num_threads;
+  LabelingSession session(session_options);
+  const LabelingReport result = session.Run(candidates, order, crowd).value();
 
-  std::vector<Label> labels;
-  labels.reserve(result.outcomes.size());
-  for (const auto& outcome : result.outcomes) labels.push_back(outcome.label);
-  const QualityMetrics quality = ComputeQuality(candidates, labels, truth);
+  const QualityMetrics quality =
+      ComputeQuality(candidates, ExtractFinalLabels(result), truth);
 
   const double savings =
       100.0 * static_cast<double>(result.num_deduced) /

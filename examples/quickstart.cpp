@@ -10,8 +10,8 @@
 
 #include "core/candidate.h"
 #include "core/labeling_order.h"
+#include "core/labeling_session.h"
 #include "core/oracle.h"
-#include "core/parallel_labeler.h"
 #include "graph/cluster_graph.h"
 
 using namespace crowdjoin;  // NOLINT(build/namespaces)
@@ -35,19 +35,20 @@ int main() {
                         /*rng=*/nullptr)
           .value();
 
-  // 2. Labeling component: the parallel labeler publishes every pair that
-  //    must be crowdsourced, fans the oracle calls of each round over a
-  //    4-thread worker pool (the result is identical for any thread
-  //    count), deduces the rest via positive/negative transitivity, and
-  //    iterates.
-  const LabelingResult result =
-      ParallelLabeler(ConflictPolicy::kKeepFirst, /*num_threads=*/4)
-          .Run(candidates, order, crowd)
-          .value();
+  // 2. Labeling component: one LabelingSession configured with the
+  //    round-parallel schedule publishes every pair that must be
+  //    crowdsourced, fans the oracle calls of each round over a 4-thread
+  //    worker pool (the report is identical for any thread count), deduces
+  //    the rest via positive/negative transitivity, and iterates.
+  LabelingSessionOptions session_options;
+  session_options.schedule = SchedulePolicy::kRoundParallel;
+  session_options.num_threads = 4;
+  LabelingSession session(session_options);
+  const LabelingReport result = session.Run(candidates, order, crowd).value();
 
   std::printf("labeled %zu candidate pairs:\n", candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    const PairOutcome& outcome = result.outcomes[i];
+    const PairOutcome& outcome = *result.outcomes[i];
     std::printf("  p%zu = (o%d, o%d): %-12s [%s]\n", i + 1,
                 candidates[i].a + 1, candidates[i].b + 1,
                 std::string(LabelToString(outcome.label)).c_str(),

@@ -29,31 +29,40 @@ int main() {
   campaign.sharding.num_shards = 16;  // 136 shard-vs-shard probe tasks
   campaign.sharding.num_threads = 4;  // join worker pool
   campaign.crowd.num_threads = 4;     // labeling worker pool
+  // Round-by-round labeling: every 16 probe tasks' candidates become one
+  // labeling round, so the candidate set is never materialized — later
+  // rounds deduce from earlier rounds' clusters for free.
+  campaign.label_tasks_per_round = 16;
 
   const StreamingCampaignStats stats =
       RunStreamingCampaign(source, /*scorer=*/nullptr, campaign).value();
 
-  std::printf("streamed %lld records (%lld candidate pairs)\n",
+  std::printf("streamed %lld records (%lld candidate pairs, "
+              "%lld labeling rounds, never materialized)\n",
               static_cast<long long>(stats.num_records),
-              static_cast<long long>(stats.num_candidates));
+              static_cast<long long>(stats.num_candidates),
+              static_cast<long long>(stats.labeling.num_stream_rounds));
   std::printf("crowdsourced %lld pairs, deduced %lld for free\n",
               static_cast<long long>(stats.labeling.num_crowdsourced),
               static_cast<long long>(stats.labeling.num_deduced));
 
+  // Round-by-round mode must not leave the candidate set behind.
+  if (!stats.candidates.empty()) {
+    std::fprintf(stderr, "candidate set was materialized unexpectedly\n");
+    return 1;
+  }
   // The whole point of transitivity: deductions are not a rounding error.
   if (stats.labeling.num_deduced <= 0) {
     std::fprintf(stderr, "expected transitive deductions at scale\n");
     return 1;
   }
-  // And the perfect-oracle campaign must agree with ground truth.
-  const GroundTruthOracle truth(stats.entity_of);
-  for (size_t i = 0; i < stats.candidates.size(); ++i) {
-    if (stats.labeling.outcomes[i].label !=
-        truth.Truth(stats.candidates[i].a, stats.candidates[i].b)) {
-      std::fprintf(stderr, "label mismatch at candidate %zu\n", i);
-      return 1;
-    }
+  // Every pair got a label and the counters add up.
+  if (stats.labeling.num_unlabeled != 0 ||
+      stats.labeling.num_crowdsourced + stats.labeling.num_deduced !=
+          stats.num_candidates) {
+    std::fprintf(stderr, "labeling counters are inconsistent\n");
+    return 1;
   }
-  std::printf("all labels agree with ground truth\n");
+  std::printf("round-by-round streaming campaign complete\n");
   return 0;
 }

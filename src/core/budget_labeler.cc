@@ -1,7 +1,7 @@
 #include "core/budget_labeler.h"
 
 #include "common/macros.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 
 namespace crowdjoin {
 
@@ -11,31 +11,17 @@ Result<BudgetLabeler::RunResult> BudgetLabeler::Run(
   if (budget < 0) {
     return Status::InvalidArgument("budget must be non-negative");
   }
-  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
-
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kSequential;
+  options.stop = StopPolicy::Budget(budget);
+  LabelingSession session(options);
+  CJ_ASSIGN_OR_RETURN(LabelingReport report,
+                      session.Run(pairs, order, oracle));
   RunResult result;
-  result.outcomes.resize(pairs.size());
-  ClusterGraph graph(NumObjectsSpanned(pairs));
-
-  for (int32_t pos : order) {
-    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-    auto& outcome = result.outcomes[static_cast<size_t>(pos)];
-    const Deduction deduction = graph.Deduce(pair.a, pair.b);
-    if (deduction != Deduction::kUndeduced) {
-      outcome = PairOutcome{DeductionToLabel(deduction),
-                            LabelSource::kDeduced};
-      ++result.num_deduced;
-      continue;
-    }
-    if (result.num_crowdsourced >= budget) {
-      ++result.num_unlabeled;  // money ran out; leave undecided
-      continue;
-    }
-    const Label label = oracle.GetLabel(pair.a, pair.b);
-    outcome = PairOutcome{label, LabelSource::kCrowdsourced};
-    ++result.num_crowdsourced;
-    graph.Add(pair.a, pair.b, label);
-  }
+  result.outcomes = std::move(report.outcomes);
+  result.num_crowdsourced = report.num_crowdsourced;
+  result.num_deduced = report.num_deduced;
+  result.num_unlabeled = report.num_unlabeled;
   return result;
 }
 

@@ -23,6 +23,9 @@ namespace crowdjoin {
 /// pairs stay unlabeled. The caller decides how to treat unlabeled pairs
 /// (the usual convention, used by the ablation bench, is to predict
 /// non-matching).
+///
+/// Thin wrapper over `LabelingSession` (sequential schedule, budget stop
+/// policy); byte-identical to the pre-session implementation.
 class BudgetLabeler {
  public:
   /// Result of a budget-limited run. `labels[i]` is empty for pairs the

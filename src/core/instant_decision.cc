@@ -1,103 +1,41 @@
 #include "core/instant_decision.h"
 
+#include <utility>
+
 #include "common/macros.h"
-#include "common/string_util.h"
-#include "core/parallel_labeler.h"
-#include "core/sequential_labeler.h"
 
 namespace crowdjoin {
+
+namespace {
+
+LabelingSessionOptions InstantOptions(ConflictPolicy policy) {
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kInstantDecision;
+  options.conflict_policy = policy;
+  return options;
+}
+
+}  // namespace
 
 InstantDecisionEngine::InstantDecisionEngine(const CandidateSet* pairs,
                                              std::vector<int32_t> order,
                                              ConflictPolicy policy)
     : pairs_(pairs),
       order_(std::move(order)),
-      policy_(policy),
-      labels_(pairs->size()),
-      published_(pairs->size(), false) {}
-
-std::vector<int32_t> InstantDecisionEngine::Scan() {
-  std::vector<int32_t> fresh = ParallelCrowdsourcedPairs(
-      *pairs_, order_, labels_, &published_, policy_);
-  for (int32_t pos : fresh) {
-    published_[static_cast<size_t>(pos)] = true;
-    ++num_published_;
-    ++num_available_;
-  }
-  return fresh;
-}
+      session_(InstantOptions(policy)) {}
 
 Result<std::vector<int32_t>> InstantDecisionEngine::Start() {
-  if (started_) {
-    return Status::FailedPrecondition("Start() called twice");
-  }
-  CJ_RETURN_IF_ERROR(ValidateOrder(order_, pairs_->size()));
-  started_ = true;
-  return Scan();
+  return session_.Start(pairs_, order_);
 }
 
 Result<std::vector<int32_t>> InstantDecisionEngine::OnPairLabeled(
     int32_t pos, Label label) {
-  if (!started_) {
-    return Status::FailedPrecondition("OnPairLabeled() before Start()");
-  }
-  if (pos < 0 || static_cast<size_t>(pos) >= pairs_->size()) {
-    return Status::OutOfRange(StrFormat("position %d out of range", pos));
-  }
-  if (!published_[static_cast<size_t>(pos)]) {
-    return Status::FailedPrecondition(
-        StrFormat("pair at position %d was never published", pos));
-  }
-  if (labels_[static_cast<size_t>(pos)].has_value()) {
-    return Status::AlreadyExists(
-        StrFormat("pair at position %d is already labeled", pos));
-  }
-  labels_[static_cast<size_t>(pos)] = label;
-  --num_available_;
-  ++num_crowdsourced_;
-  // Completing a matching pair cannot unlock new publishable pairs (the
-  // scan already assumed it was matching), so skip the rescan.
-  if (label == Label::kMatching) return std::vector<int32_t>{};
-  return Scan();
+  return session_.OnPairLabeled(pos, label);
 }
 
 Result<LabelingResult> InstantDecisionEngine::Finish() {
-  if (num_available_ != 0) {
-    return Status::FailedPrecondition(
-        StrFormat("%lld published pairs are still unlabeled",
-                  static_cast<long long>(num_available_)));
-  }
-  LabelingResult result;
-  result.outcomes.resize(pairs_->size());
-  result.num_crowdsourced = num_crowdsourced_;
-
-  ClusterGraph graph(NumObjectsSpanned(*pairs_), policy_);
-  for (int32_t pos : order_) {
-    const CandidatePair& pair = (*pairs_)[static_cast<size_t>(pos)];
-    auto& label = labels_[static_cast<size_t>(pos)];
-    auto& outcome = result.outcomes[static_cast<size_t>(pos)];
-    if (label.has_value()) {
-      if (published_[static_cast<size_t>(pos)]) {
-        outcome = {*label, LabelSource::kCrowdsourced};
-      } else {
-        // Deduced on an earlier Finish() call (Finish is idempotent).
-        outcome = {*label, LabelSource::kDeduced};
-        ++result.num_deduced;
-      }
-      graph.Add(pair.a, pair.b, *label);
-      continue;
-    }
-    const Deduction deduction = graph.Deduce(pair.a, pair.b);
-    if (deduction == Deduction::kUndeduced) {
-      return Status::Internal(StrFormat(
-          "pair at position %d is neither labeled nor deducible", pos));
-    }
-    label = DeductionToLabel(deduction);
-    outcome = {*label, LabelSource::kDeduced};
-    ++result.num_deduced;
-  }
-  result.num_conflicts = graph.num_conflicts();
-  return result;
+  CJ_ASSIGN_OR_RETURN(const LabelingReport report, session_.Finish());
+  return report.ToLabelingResult();
 }
 
 }  // namespace crowdjoin

@@ -1,12 +1,12 @@
 #ifndef CROWDJOIN_CORE_INSTANT_DECISION_H_
 #define CROWDJOIN_CORE_INSTANT_DECISION_H_
 
-#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "core/candidate.h"
 #include "core/labeling_result.h"
+#include "core/labeling_session.h"
 #include "graph/cluster_graph.h"
 
 namespace crowdjoin {
@@ -17,6 +17,9 @@ namespace crowdjoin {
 /// engine re-plans after *every single* completed pair and immediately
 /// publishes any pair that has become a must-crowdsource pair, keeping the
 /// crowdsourcing platform saturated with available HIT work (Figure 15).
+///
+/// Thin wrapper over `LabelingSession`'s incremental protocol (the
+/// instant-decision schedule); byte-identical to the pre-session engine.
 ///
 /// Protocol:
 ///   1. `Start()` returns the initial set of positions to publish.
@@ -44,24 +47,16 @@ class InstantDecisionEngine {
   Result<LabelingResult> Finish();
 
   /// Published-but-not-yet-labeled count: the pairs available to workers.
-  int64_t num_available() const { return num_available_; }
+  int64_t num_available() const { return session_.num_available(); }
   /// Pairs labeled by the crowd so far.
-  int64_t num_crowdsourced() const { return num_crowdsourced_; }
+  int64_t num_crowdsourced() const { return session_.num_crowdsourced(); }
   /// Total published so far (labeled or not).
-  int64_t num_published() const { return num_published_; }
+  int64_t num_published() const { return session_.num_published(); }
 
  private:
-  std::vector<int32_t> Scan();
-
   const CandidateSet* pairs_;
   std::vector<int32_t> order_;
-  ConflictPolicy policy_;
-  std::vector<std::optional<Label>> labels_;
-  std::vector<bool> published_;
-  int64_t num_available_ = 0;
-  int64_t num_crowdsourced_ = 0;
-  int64_t num_published_ = 0;
-  bool started_ = false;
+  LabelingSession session_;
 };
 
 }  // namespace crowdjoin

@@ -2,6 +2,7 @@
 #define CROWDJOIN_CORE_LABELING_RESULT_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/label.h"
@@ -42,6 +43,46 @@ struct LabelingResult {
   /// thread-count-independence contract (and its tests) is stated in.
   friend bool operator==(const LabelingResult&,
                          const LabelingResult&) = default;
+};
+
+/// \brief Unified output of a `LabelingSession` run — the one result type
+/// every schedule/stop/deduction policy combination produces. Supersedes
+/// `LabelingResult`, `BudgetLabeler::RunResult`, and
+/// `OneToOneLabeler::RunResult`, whose fields all embed here; the legacy
+/// engines are thin wrappers that re-shape a report into their historical
+/// structs.
+struct LabelingReport {
+  /// Outcome per candidate position; `nullopt` for pairs a budget-capped
+  /// run could not reach (always engaged when `num_unlabeled == 0`).
+  std::vector<std::optional<PairOutcome>> outcomes;
+  /// Candidate pairs consumed (== outcomes.size() unless outcome recording
+  /// was disabled for a large streaming run).
+  int64_t num_candidates = 0;
+  int64_t num_crowdsourced = 0;
+  int64_t num_deduced = 0;
+  /// Pairs left undecided because the stop policy ran out of budget.
+  int64_t num_unlabeled = 0;
+  /// Contradictory labels seen by the transitive rule (noisy oracles only).
+  int64_t num_conflicts = 0;
+  /// Batch sizes, one entry per publication: all 1s under the sequential
+  /// schedule, one entry per round under the round-parallel schedule
+  /// (matching Figures 13–14), empty under instant decisions.
+  std::vector<int64_t> crowdsourced_per_iteration;
+  /// Candidate-stream rounds consumed (1 for a materialized run).
+  int64_t num_stream_rounds = 0;
+  /// Pairs decided by the one-to-one exclusivity rule (also counted in
+  /// `num_deduced`); 0 unless the rule is installed.
+  int64_t num_one_to_one_deduced = 0;
+  /// Crowd answers that matched an already-matched object (one-to-one rule
+  /// bookkeeping); 0 unless the rule is installed.
+  int64_t num_exclusivity_violations = 0;
+
+  /// Legacy view: the `LabelingResult` shape. Aborts if any pair is
+  /// unlabeled (budget-capped runs have no LabelingResult equivalent).
+  LabelingResult ToLabelingResult() const;
+
+  friend bool operator==(const LabelingReport&,
+                         const LabelingReport&) = default;
 };
 
 }  // namespace crowdjoin

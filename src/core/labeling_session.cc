@@ -1,0 +1,684 @@
+#include "core/labeling_session.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace crowdjoin {
+
+// ---------------------------------------------------------------------------
+// LabelingReport
+// ---------------------------------------------------------------------------
+
+LabelingResult LabelingReport::ToLabelingResult() const {
+  LabelingResult result;
+  result.outcomes.reserve(outcomes.size());
+  for (const std::optional<PairOutcome>& outcome : outcomes) {
+    CJ_CHECK(outcome.has_value());  // budget-capped runs have no LabelingResult
+    result.outcomes.push_back(*outcome);
+  }
+  result.num_crowdsourced = num_crowdsourced;
+  result.num_deduced = num_deduced;
+  result.num_conflicts = num_conflicts;
+  result.crowdsourced_per_iteration = crowdsourced_per_iteration;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Candidate streams
+// ---------------------------------------------------------------------------
+
+Result<CandidateSet> MaterializedCandidateStream::NextRound() {
+  const size_t n = pairs_->size();
+  if (cursor_ >= n) return CandidateSet{};
+  const size_t take =
+      round_size_ == 0 ? n - cursor_ : std::min(round_size_, n - cursor_);
+  CandidateSet round(
+      pairs_->begin() + static_cast<std::ptrdiff_t>(cursor_),
+      pairs_->begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
+  cursor_ += take;
+  return round;
+}
+
+// ---------------------------------------------------------------------------
+// Deduction rules
+// ---------------------------------------------------------------------------
+
+std::optional<Label> TransitiveDeductionRule::Deduce(ObjectId a, ObjectId b) {
+  const Deduction deduction = graph_.Deduce(a, b);
+  if (deduction == Deduction::kUndeduced) return std::nullopt;
+  return DeductionToLabel(deduction);
+}
+
+void TransitiveDeductionRule::Observe(ObjectId a, ObjectId b, Label label,
+                                      LabelSource /*source*/) {
+  graph_.Add(a, b, label);
+}
+
+void TransitiveDeductionRule::FillReport(LabelingReport* report) const {
+  report->num_conflicts = graph_.num_conflicts();
+}
+
+void OneToOneDeductionRule::Reset(int32_t num_objects) {
+  matched_.assign(static_cast<size_t>(num_objects), false);
+  num_deduced_ = 0;
+  num_violations_ = 0;
+}
+
+void OneToOneDeductionRule::EnsureObjects(int32_t num_objects) {
+  if (static_cast<size_t>(num_objects) > matched_.size()) {
+    matched_.resize(static_cast<size_t>(num_objects), false);
+  }
+}
+
+std::optional<Label> OneToOneDeductionRule::Deduce(ObjectId a, ObjectId b) {
+  // A pair touching an already-matched object is non-matching — sound only
+  // when the workload really is one-to-one. Every successful deduction is
+  // committed by the sequential engine, so counting here is exact.
+  if (matched_[static_cast<size_t>(a)] || matched_[static_cast<size_t>(b)]) {
+    ++num_deduced_;
+    return Label::kNonMatching;
+  }
+  return std::nullopt;
+}
+
+void OneToOneDeductionRule::Observe(ObjectId a, ObjectId b, Label label,
+                                    LabelSource source) {
+  // Only crowd answers claim a partner; deduced matches (which can only
+  // come from transitivity) were never trusted by the legacy labeler and
+  // keeping that behavior preserves byte-identical outcomes.
+  if (source != LabelSource::kCrowdsourced || label != Label::kMatching) {
+    return;
+  }
+  if (matched_[static_cast<size_t>(a)] || matched_[static_cast<size_t>(b)]) {
+    ++num_violations_;
+  }
+  matched_[static_cast<size_t>(a)] = true;
+  matched_[static_cast<size_t>(b)] = true;
+}
+
+void OneToOneDeductionRule::FillReport(LabelingReport* report) const {
+  report->num_one_to_one_deduced = num_deduced_;
+  report->num_exclusivity_violations = num_violations_;
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+std::string_view SchedulePolicyToString(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kSequential:
+      return "sequential";
+    case SchedulePolicy::kRoundParallel:
+      return "round-parallel";
+    case SchedulePolicy::kInstantDecision:
+      return "instant";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Shared building blocks
+// ---------------------------------------------------------------------------
+
+Status ValidateOrder(const std::vector<int32_t>& order, size_t n) {
+  if (order.size() != n) {
+    return Status::InvalidArgument(
+        StrFormat("order has %zu entries for %zu pairs", order.size(), n));
+  }
+  std::vector<bool> seen(n, false);
+  for (int32_t pos : order) {
+    if (pos < 0 || static_cast<size_t>(pos) >= n) {
+      return Status::InvalidArgument(
+          StrFormat("order entry %d out of range [0, %zu)", pos, n));
+    }
+    if (seen[static_cast<size_t>(pos)]) {
+      return Status::InvalidArgument(
+          StrFormat("order entry %d appears twice", pos));
+    }
+    seen[static_cast<size_t>(pos)] = true;
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> ParallelCrowdsourcedPairs(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const std::vector<std::optional<Label>>& labels_by_pos,
+    const std::vector<bool>* exclude_from_output, ConflictPolicy policy,
+    const ClusterGraph* base_graph) {
+  std::vector<int32_t> publish;
+  ClusterGraph graph = base_graph != nullptr
+                           ? *base_graph
+                           : ClusterGraph(NumObjectsSpanned(pairs), policy);
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const std::optional<Label>& label = labels_by_pos[static_cast<size_t>(pos)];
+    if (label.has_value()) {
+      graph.Add(pair.a, pair.b, *label);
+      continue;
+    }
+    if (graph.Deduce(pair.a, pair.b) == Deduction::kUndeduced) {
+      if (exclude_from_output == nullptr ||
+          !(*exclude_from_output)[static_cast<size_t>(pos)]) {
+        publish.push_back(pos);
+      }
+      // Suppose the pair is matching (Algorithm 3, line 11).
+      graph.Add(pair.a, pair.b, Label::kMatching);
+    }
+    // Optimistically deducible pairs contribute nothing (their label is
+    // already implied by the graph or contradicts the assumption).
+  }
+  return publish;
+}
+
+// ---------------------------------------------------------------------------
+// LabelingSession
+// ---------------------------------------------------------------------------
+
+LabelingSession::LabelingSession(LabelingSessionOptions options)
+    : options_(options) {}
+
+LabelingSession::~LabelingSession() = default;
+LabelingSession::LabelingSession(LabelingSession&&) noexcept = default;
+LabelingSession& LabelingSession::operator=(LabelingSession&&) noexcept =
+    default;
+
+LabelingSession& LabelingSession::AddRule(std::unique_ptr<DeductionRule> rule) {
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+void LabelingSession::EnsureDefaultRule() {
+  if (rules_.empty()) {
+    rules_.push_back(
+        std::make_unique<TransitiveDeductionRule>(options_.conflict_policy));
+  }
+}
+
+void LabelingSession::BeginRun(int32_t num_objects) {
+  EnsureDefaultRule();
+  for (auto& rule : rules_) rule->Reset(num_objects);
+  remaining_budget_ = options_.stop.bounded() ? options_.stop.budget : -1;
+  // Clear the incremental-protocol state so a session can run repeatedly.
+  pairs_ = nullptr;
+  order_.clear();
+  labels_.clear();
+  published_.clear();
+  num_available_ = 0;
+  num_crowdsourced_ = 0;
+  num_published_ = 0;
+  started_ = false;
+}
+
+Result<ConflictPolicy> LabelingSession::RequireTransitiveOnlyChain() const {
+  if (rules_.size() == 1) {
+    if (const auto* transitive =
+            dynamic_cast<const TransitiveDeductionRule*>(rules_[0].get())) {
+      return transitive->policy();
+    }
+  }
+  return Status::InvalidArgument(
+      std::string("the ") +
+      std::string(SchedulePolicyToString(options_.schedule)) +
+      " schedule supports only the transitive deduction rule");
+}
+
+void LabelingSession::LabelOnePair(const CandidatePair& pair,
+                                   size_t report_pos, LabelOracle& oracle,
+                                   LabelingReport& report) {
+  // Ask the chain in order; the first rule that deduces wins, and the
+  // rules before it (which could not decide the pair) observe the label.
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const std::optional<Label> deduced = rules_[i]->Deduce(pair.a, pair.b);
+    if (deduced.has_value()) {
+      report.outcomes[report_pos] =
+          PairOutcome{*deduced, LabelSource::kDeduced};
+      ++report.num_deduced;
+      for (size_t j = 0; j < i; ++j) {
+        rules_[j]->Observe(pair.a, pair.b, *deduced, LabelSource::kDeduced);
+      }
+      return;
+    }
+  }
+  if (remaining_budget_ == 0) {
+    ++report.num_unlabeled;  // money ran out; leave undecided
+    return;
+  }
+  if (remaining_budget_ > 0) --remaining_budget_;
+  const Label label = oracle.GetLabel(pair.a, pair.b);
+  report.outcomes[report_pos] = PairOutcome{label, LabelSource::kCrowdsourced};
+  ++report.num_crowdsourced;
+  report.crowdsourced_per_iteration.push_back(1);
+  for (auto& rule : rules_) {
+    rule->Observe(pair.a, pair.b, label, LabelSource::kCrowdsourced);
+  }
+}
+
+Result<LabelingReport> LabelingSession::Run(const CandidateSet& pairs,
+                                            const std::vector<int32_t>& order,
+                                            LabelOracle& oracle) {
+  // The instant path validates inside Start(); don't pay the check twice.
+  if (options_.schedule != SchedulePolicy::kInstantDecision) {
+    CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
+  }
+  BeginRun(NumObjectsSpanned(pairs));
+  switch (options_.schedule) {
+    case SchedulePolicy::kSequential: {
+      LabelingReport report;
+      report.outcomes.resize(pairs.size());
+      report.num_candidates = static_cast<int64_t>(pairs.size());
+      report.num_stream_rounds = 1;
+      // Fast path for the dominant cell (transitive-only chain, unbounded
+      // stop): the per-pair loop runs on the cluster graph directly, with
+      // no virtual rule dispatch — this is what keeps the session within
+      // the direct engines' cost (bench/micro_session). Byte-identical to
+      // the generic loop below; the equivalence suite pins both.
+      TransitiveDeductionRule* transitive =
+          rules_.size() == 1 && !options_.stop.bounded()
+              ? dynamic_cast<TransitiveDeductionRule*>(rules_[0].get())
+              : nullptr;
+      if (transitive != nullptr) {
+        ClusterGraph& graph = transitive->mutable_graph();
+        for (int32_t pos : order) {
+          const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+          const Deduction deduction = graph.Deduce(pair.a, pair.b);
+          auto& outcome = report.outcomes[static_cast<size_t>(pos)];
+          if (deduction == Deduction::kUndeduced) {
+            const Label label = oracle.GetLabel(pair.a, pair.b);
+            outcome = PairOutcome{label, LabelSource::kCrowdsourced};
+            ++report.num_crowdsourced;
+            report.crowdsourced_per_iteration.push_back(1);
+            // An undeduced pair cannot conflict: matching merges two
+            // distinct clusters, non-matching adds an edge between them.
+            graph.Add(pair.a, pair.b, label);
+          } else {
+            outcome =
+                PairOutcome{DeductionToLabel(deduction), LabelSource::kDeduced};
+            ++report.num_deduced;
+          }
+        }
+      } else {
+        for (int32_t pos : order) {
+          LabelOnePair(pairs[static_cast<size_t>(pos)],
+                       static_cast<size_t>(pos), oracle, report);
+        }
+      }
+      for (const auto& rule : rules_) rule->FillReport(&report);
+      return report;
+    }
+    case SchedulePolicy::kRoundParallel:
+      return RunRoundsWithOracle(pairs, order, oracle);
+    case SchedulePolicy::kInstantDecision:
+      return RunInstantFifo(pairs, order, oracle);
+  }
+  return Status::InvalidArgument("unknown schedule policy");
+}
+
+Status LabelingSession::RunRoundsOver(const CandidateSet& pairs,
+                                      const std::vector<int32_t>& order,
+                                      const BatchLabelFn& label_batch,
+                                      ConflictPolicy policy,
+                                      const ClusterGraph* base_graph,
+                                      size_t report_offset,
+                                      LabelingReport& report) {
+  const size_t n = pairs.size();
+  const int32_t num_objects = NumObjectsSpanned(pairs);
+  std::vector<std::optional<Label>> labels(n);
+  size_t num_labeled = 0;
+
+  while (num_labeled < n) {
+    // Identify and "publish" this round's batch (Algorithm 2, line 4).
+    const std::vector<int32_t> batch = ParallelCrowdsourcedPairs(
+        pairs, order, labels, /*exclude_from_output=*/nullptr, policy,
+        base_graph);
+    // Without outside knowledge, undeduced pairs always remain publishable;
+    // a base graph (earlier streaming rounds) can make a whole batch
+    // deducible before any money is spent.
+    if (base_graph == nullptr) CJ_CHECK(!batch.empty());
+    std::vector<int32_t> publish = batch;
+    if (remaining_budget_ >= 0 &&
+        static_cast<int64_t>(publish.size()) > remaining_budget_) {
+      publish.resize(static_cast<size_t>(remaining_budget_));
+    }
+
+    if (!publish.empty()) {
+      // Crowdsource all batch pairs "simultaneously" (line 5), then merge
+      // the answers back by batch position on this thread — the step that
+      // makes the result independent of how the source resolved them.
+      CJ_ASSIGN_OR_RETURN(const std::vector<Label> batch_labels,
+                          label_batch(publish));
+      CJ_CHECK(batch_labels.size() == publish.size());
+      for (size_t i = 0; i < publish.size(); ++i) {
+        const int32_t pos = publish[i];
+        labels[static_cast<size_t>(pos)] = batch_labels[i];
+        report.outcomes[report_offset + static_cast<size_t>(pos)] =
+            PairOutcome{batch_labels[i], LabelSource::kCrowdsourced};
+        ++report.num_crowdsourced;
+        ++num_labeled;
+      }
+      if (remaining_budget_ > 0) {
+        remaining_budget_ -= static_cast<int64_t>(publish.size());
+      }
+      report.crowdsourced_per_iteration.push_back(
+          static_cast<int64_t>(publish.size()));
+    }
+
+    // Deduce every pair that became deducible from its prefix of labeled
+    // pairs (lines 6-8): one ordered scan, cascading deductions.
+    size_t scan_deduced = 0;
+    ClusterGraph graph = base_graph != nullptr
+                             ? *base_graph
+                             : ClusterGraph(num_objects, policy);
+    for (int32_t pos : order) {
+      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+      auto& label = labels[static_cast<size_t>(pos)];
+      if (label.has_value()) {
+        graph.Add(pair.a, pair.b, *label);
+        continue;
+      }
+      const Deduction deduction = graph.Deduce(pair.a, pair.b);
+      if (deduction != Deduction::kUndeduced) {
+        label = DeductionToLabel(deduction);
+        report.outcomes[report_offset + static_cast<size_t>(pos)] =
+            PairOutcome{*label, LabelSource::kDeduced};
+        ++report.num_deduced;
+        ++num_labeled;
+        ++scan_deduced;
+        // The deduced label is already implied by the graph: no Add needed.
+      }
+    }
+    report.num_conflicts = graph.num_conflicts();
+
+    if (publish.empty() && scan_deduced == 0) {
+      // No batch was affordable and nothing came free: everything left is
+      // out of the budget's reach (the unbounded invariant above proves
+      // this branch needs an exhausted budget).
+      CJ_CHECK(remaining_budget_ == 0);
+      break;
+    }
+  }
+  report.num_unlabeled += static_cast<int64_t>(n - num_labeled);
+  return Status::OK();
+}
+
+Result<LabelingReport> LabelingSession::RunRoundsWithOracle(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    LabelOracle& oracle) {
+  CJ_ASSIGN_OR_RETURN(const ConflictPolicy policy,
+                      RequireTransitiveOnlyChain());
+  // One pool shared by every round of this run. Created only when real
+  // parallelism was requested: the single-threaded path calls the oracle
+  // inline in batch order, which keeps order-dependent oracles (e.g.
+  // NoisyOracle's sequential RNG stream) exactly as deterministic as the
+  // pre-threading implementation.
+  std::optional<ThreadPool> pool;
+  if (options_.num_threads > 1) pool.emplace(options_.num_threads);
+
+  LabelingReport report;
+  report.outcomes.resize(pairs.size());
+  report.num_candidates = static_cast<int64_t>(pairs.size());
+  report.num_stream_rounds = 1;
+  const BatchLabelFn batch_fn =
+      [&](const std::vector<int32_t>& batch) -> Result<std::vector<Label>> {
+    return ParallelMap(
+        pool.has_value() ? &*pool : nullptr,
+        static_cast<int64_t>(batch.size()), [&](int64_t i) {
+          const CandidatePair& pair =
+              pairs[static_cast<size_t>(batch[static_cast<size_t>(i)])];
+          return oracle.GetLabel(pair.a, pair.b);
+        });
+  };
+  CJ_RETURN_IF_ERROR(RunRoundsOver(pairs, order, batch_fn, policy,
+                                   /*base_graph=*/nullptr,
+                                   /*report_offset=*/0, report));
+  return report;
+}
+
+Result<LabelingReport> LabelingSession::RunWithBatchSource(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const BatchLabelFn& label_batch) {
+  if (options_.schedule != SchedulePolicy::kRoundParallel) {
+    return Status::InvalidArgument(
+        "RunWithBatchSource requires the round-parallel schedule");
+  }
+  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
+  BeginRun(NumObjectsSpanned(pairs));
+  CJ_ASSIGN_OR_RETURN(const ConflictPolicy policy,
+                      RequireTransitiveOnlyChain());
+  LabelingReport report;
+  report.outcomes.resize(pairs.size());
+  report.num_candidates = static_cast<int64_t>(pairs.size());
+  report.num_stream_rounds = 1;
+  CJ_RETURN_IF_ERROR(RunRoundsOver(pairs, order, label_batch, policy,
+                                   /*base_graph=*/nullptr,
+                                   /*report_offset=*/0, report));
+  return report;
+}
+
+Result<LabelingReport> LabelingSession::RunStream(
+    CandidateStream& stream, OrderKind order_kind, LabelOracle& oracle,
+    const GroundTruthOracle* truth, Rng* order_rng) {
+  if (options_.schedule == SchedulePolicy::kInstantDecision) {
+    return Status::InvalidArgument(
+        "the instant-decision schedule cannot drive a candidate stream");
+  }
+  BeginRun(/*num_objects=*/0);
+  ConflictPolicy policy = ConflictPolicy::kKeepFirst;
+  TransitiveDeductionRule* transitive = nullptr;
+  if (options_.schedule == SchedulePolicy::kRoundParallel) {
+    CJ_ASSIGN_OR_RETURN(policy, RequireTransitiveOnlyChain());
+    transitive = dynamic_cast<TransitiveDeductionRule*>(rules_[0].get());
+  }
+  std::optional<ThreadPool> pool;
+  if (options_.schedule == SchedulePolicy::kRoundParallel &&
+      options_.num_threads > 1) {
+    pool.emplace(options_.num_threads);
+  }
+
+  LabelingReport report;
+  int32_t num_objects = 0;
+  while (true) {
+    CJ_ASSIGN_OR_RETURN(const CandidateSet round, stream.NextRound());
+    if (round.empty()) break;  // end of stream
+    ++report.num_stream_rounds;
+    num_objects = std::max(num_objects, NumObjectsSpanned(round));
+    for (auto& rule : rules_) rule->EnsureObjects(num_objects);
+    CJ_ASSIGN_OR_RETURN(
+        const std::vector<int32_t> order,
+        MakeLabelingOrder(round, order_kind, truth, order_rng));
+    const size_t offset = report.outcomes.size();
+    report.outcomes.resize(offset + round.size());
+    report.num_candidates += static_cast<int64_t>(round.size());
+
+    if (options_.schedule == SchedulePolicy::kSequential) {
+      // The persistent rule chain carries deduction state across rounds,
+      // so later rounds ride on earlier clusters for free.
+      for (int32_t pos : order) {
+        LabelOnePair(round[static_cast<size_t>(pos)],
+                     offset + static_cast<size_t>(pos), oracle, report);
+      }
+      continue;
+    }
+
+    // Round-parallel: the persistent graph seeds every scan, and the
+    // round's crowd answers are folded back in afterwards. Deduced labels
+    // need no fold — they are implied by the graph that produced them.
+    // Each Algorithm-2 iteration copies the persistent graph twice
+    // (publish scan + deduction scan): the prefix-based scan semantics
+    // that keep a one-round stream byte-identical to the materialized run
+    // rule out scanning the persistent graph in place, so the copy cost
+    // grows with total objects seen, not round size (fine up to ~1M
+    // records; the ROADMAP tracks cheapening it beyond that).
+    const BatchLabelFn batch_fn =
+        [&](const std::vector<int32_t>& batch) -> Result<std::vector<Label>> {
+      return ParallelMap(
+          pool.has_value() ? &*pool : nullptr,
+          static_cast<int64_t>(batch.size()), [&](int64_t i) {
+            const CandidatePair& pair =
+                round[static_cast<size_t>(batch[static_cast<size_t>(i)])];
+            return oracle.GetLabel(pair.a, pair.b);
+          });
+    };
+    CJ_RETURN_IF_ERROR(RunRoundsOver(round, order, batch_fn, policy,
+                                     &transitive->graph(), offset, report));
+    for (int32_t pos : order) {
+      const std::optional<PairOutcome>& outcome =
+          report.outcomes[offset + static_cast<size_t>(pos)];
+      if (outcome.has_value() &&
+          outcome->source == LabelSource::kCrowdsourced) {
+        const CandidatePair& pair = round[static_cast<size_t>(pos)];
+        transitive->Observe(pair.a, pair.b, outcome->label,
+                            LabelSource::kCrowdsourced);
+      }
+    }
+  }
+
+  if (options_.schedule == SchedulePolicy::kSequential) {
+    for (const auto& rule : rules_) rule->FillReport(&report);
+  } else {
+    // Per-round scans counted conflicts on throwaway copies; the stream's
+    // total lives on the persistent graph.
+    report.num_conflicts = transitive->graph().num_conflicts();
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Instant-decision protocol
+// ---------------------------------------------------------------------------
+
+std::vector<int32_t> LabelingSession::InstantScan() {
+  std::vector<int32_t> fresh = ParallelCrowdsourcedPairs(
+      *pairs_, order_, labels_, &published_, instant_policy_);
+  for (int32_t pos : fresh) {
+    published_[static_cast<size_t>(pos)] = true;
+    ++num_published_;
+    ++num_available_;
+  }
+  return fresh;
+}
+
+Result<std::vector<int32_t>> LabelingSession::Start(
+    const CandidateSet* pairs, std::vector<int32_t> order) {
+  if (options_.schedule != SchedulePolicy::kInstantDecision) {
+    return Status::InvalidArgument(
+        "Start() requires the instant-decision schedule");
+  }
+  if (options_.stop.bounded()) {
+    return Status::InvalidArgument(
+        "the instant-decision schedule does not support a budget");
+  }
+  if (started_) {
+    return Status::FailedPrecondition("Start() called twice");
+  }
+  EnsureDefaultRule();
+  CJ_ASSIGN_OR_RETURN(instant_policy_, RequireTransitiveOnlyChain());
+  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs->size()));
+  pairs_ = pairs;
+  order_ = std::move(order);
+  labels_.assign(pairs->size(), std::nullopt);
+  published_.assign(pairs->size(), false);
+  num_available_ = 0;
+  num_crowdsourced_ = 0;
+  num_published_ = 0;
+  started_ = true;
+  return InstantScan();
+}
+
+Result<std::vector<int32_t>> LabelingSession::OnPairLabeled(int32_t pos,
+                                                            Label label) {
+  if (!started_) {
+    return Status::FailedPrecondition("OnPairLabeled() before Start()");
+  }
+  if (pos < 0 || static_cast<size_t>(pos) >= pairs_->size()) {
+    return Status::OutOfRange(StrFormat("position %d out of range", pos));
+  }
+  if (!published_[static_cast<size_t>(pos)]) {
+    return Status::FailedPrecondition(
+        StrFormat("pair at position %d was never published", pos));
+  }
+  if (labels_[static_cast<size_t>(pos)].has_value()) {
+    return Status::AlreadyExists(
+        StrFormat("pair at position %d is already labeled", pos));
+  }
+  labels_[static_cast<size_t>(pos)] = label;
+  --num_available_;
+  ++num_crowdsourced_;
+  // Completing a matching pair cannot unlock new publishable pairs (the
+  // scan already assumed it was matching), so skip the rescan.
+  if (label == Label::kMatching) return std::vector<int32_t>{};
+  return InstantScan();
+}
+
+Result<LabelingReport> LabelingSession::Finish() {
+  if (!started_) {
+    return Status::FailedPrecondition("Finish() before Start()");
+  }
+  if (num_available_ != 0) {
+    return Status::FailedPrecondition(
+        StrFormat("%lld published pairs are still unlabeled",
+                  static_cast<long long>(num_available_)));
+  }
+  LabelingReport report;
+  report.outcomes.resize(pairs_->size());
+  report.num_candidates = static_cast<int64_t>(pairs_->size());
+  report.num_stream_rounds = 1;
+  report.num_crowdsourced = num_crowdsourced_;
+
+  ClusterGraph graph(NumObjectsSpanned(*pairs_), instant_policy_);
+  for (int32_t pos : order_) {
+    const CandidatePair& pair = (*pairs_)[static_cast<size_t>(pos)];
+    auto& label = labels_[static_cast<size_t>(pos)];
+    auto& outcome = report.outcomes[static_cast<size_t>(pos)];
+    if (label.has_value()) {
+      if (published_[static_cast<size_t>(pos)]) {
+        outcome = PairOutcome{*label, LabelSource::kCrowdsourced};
+      } else {
+        // Deduced on an earlier Finish() call (Finish is idempotent).
+        outcome = PairOutcome{*label, LabelSource::kDeduced};
+        ++report.num_deduced;
+      }
+      graph.Add(pair.a, pair.b, *label);
+      continue;
+    }
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    if (deduction == Deduction::kUndeduced) {
+      return Status::Internal(StrFormat(
+          "pair at position %d is neither labeled nor deducible", pos));
+    }
+    label = DeductionToLabel(deduction);
+    outcome = PairOutcome{*label, LabelSource::kDeduced};
+    ++report.num_deduced;
+  }
+  report.num_conflicts = graph.num_conflicts();
+  return report;
+}
+
+Result<LabelingReport> LabelingSession::RunInstantFifo(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    LabelOracle& oracle) {
+  // Synchronous FIFO drive of the incremental protocol: crowdsource pairs
+  // in publication order, re-planning after every answer — what the
+  // "Non-Parallel" campaign does without a latency model.
+  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial,
+                      Start(&pairs, std::vector<int32_t>(order)));
+  std::deque<int32_t> pending(initial.begin(), initial.end());
+  while (!pending.empty()) {
+    const int32_t pos = pending.front();
+    pending.pop_front();
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    CJ_ASSIGN_OR_RETURN(
+        const std::vector<int32_t> fresh,
+        OnPairLabeled(pos, oracle.GetLabel(pair.a, pair.b)));
+    pending.insert(pending.end(), fresh.begin(), fresh.end());
+  }
+  return Finish();
+}
+
+}  // namespace crowdjoin

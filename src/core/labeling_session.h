@@ -1,0 +1,402 @@
+#ifndef CROWDJOIN_CORE_LABELING_SESSION_H_
+#define CROWDJOIN_CORE_LABELING_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/candidate.h"
+#include "core/labeling_order.h"
+#include "core/labeling_result.h"
+#include "core/oracle.h"
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+
+// ---------------------------------------------------------------------------
+// Candidate input
+// ---------------------------------------------------------------------------
+
+/// \brief Pull-based source of candidate pairs, delivered round by round.
+///
+/// The labeling session consumes one round at a time and never needs the
+/// full candidate set in memory: each round is labeled (with deduction
+/// state carried across rounds) and then dropped, so the peak candidate
+/// buffer is bounded by the largest round. Implementations: the
+/// `MaterializedCandidateStream` adapter below, and the simjoin module's
+/// `StreamingCandidateFeed`, which drains the sharded join's probe tasks
+/// incrementally.
+class CandidateStream {
+ public:
+  virtual ~CandidateStream() = default;
+
+  /// Returns the next round of candidates; an empty set means the stream
+  /// is exhausted. Pair object ids are global (stable across rounds).
+  virtual Result<CandidateSet> NextRound() = 0;
+};
+
+/// \brief Adapter presenting an in-memory `CandidateSet` as a stream:
+/// one round of everything (`round_size == 0`, the legacy materialized
+/// shape) or fixed-size chunks in candidate order.
+class MaterializedCandidateStream : public CandidateStream {
+ public:
+  /// `pairs` must outlive the stream.
+  explicit MaterializedCandidateStream(const CandidateSet* pairs,
+                                       size_t round_size = 0)
+      : pairs_(pairs), round_size_(round_size) {}
+
+  Result<CandidateSet> NextRound() override;
+
+ private:
+  const CandidateSet* pairs_;
+  size_t round_size_;
+  size_t cursor_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Deduction rules
+// ---------------------------------------------------------------------------
+
+/// \brief A pluggable deduction policy: decides pair labels for free from
+/// the labels observed so far.
+///
+/// Rules form an ordered chain. For each pair the session asks the rules in
+/// chain order; the first one that deduces wins. A deduced label is then
+/// fed back (`Observe`) only to the rules *before* the deducing one — they
+/// could not decide the pair, so the label is new information to them,
+/// while the deducing rule already implies it. Crowdsourced labels are fed
+/// to every rule. With the chain [transitive, one-to-one] this reproduces
+/// the legacy `OneToOneLabeler` byte for byte: a one-to-one deduction lands
+/// in the cluster graph (so transitivity can build on it), while a
+/// transitive deduction leaves the one-to-one matched-flags untouched.
+class DeductionRule {
+ public:
+  virtual ~DeductionRule() = default;
+
+  /// Stable rule name ("transitive", "one-to-one"), for diagnostics.
+  virtual std::string_view name() const = 0;
+
+  /// Drops all accumulated knowledge; the rule restarts over objects
+  /// `[0, num_objects)`.
+  virtual void Reset(int32_t num_objects) = 0;
+
+  /// Grows the object space without dropping knowledge (streaming rounds
+  /// widen the id range as records arrive). No-op when already spanned.
+  virtual void EnsureObjects(int32_t num_objects) = 0;
+
+  /// Attempts to decide (a, b) from the labels observed so far.
+  virtual std::optional<Label> Deduce(ObjectId a, ObjectId b) = 0;
+
+  /// Records a finalized label. `source` distinguishes crowd answers from
+  /// deductions (some rules, like one-to-one, only trust crowd answers).
+  virtual void Observe(ObjectId a, ObjectId b, Label label,
+                       LabelSource source) = 0;
+
+  /// Contributes rule-specific counters to the finished report.
+  virtual void FillReport(LabelingReport* report) const = 0;
+};
+
+/// \brief The paper's core rule: transitive deduction over a ClusterGraph
+/// (Section 3.2). Counts conflicting labels per the configured policy.
+class TransitiveDeductionRule : public DeductionRule {
+ public:
+  explicit TransitiveDeductionRule(
+      ConflictPolicy policy = ConflictPolicy::kKeepFirst)
+      : policy_(policy), graph_(0, policy) {}
+
+  std::string_view name() const override { return "transitive"; }
+  void Reset(int32_t num_objects) override { graph_.Reset(num_objects); }
+  void EnsureObjects(int32_t num_objects) override {
+    graph_.EnsureObjects(num_objects);
+  }
+  std::optional<Label> Deduce(ObjectId a, ObjectId b) override;
+  void Observe(ObjectId a, ObjectId b, Label label,
+               LabelSource source) override;
+  void FillReport(LabelingReport* report) const override;
+
+  ConflictPolicy policy() const { return policy_; }
+  const ClusterGraph& graph() const { return graph_; }
+  /// Direct graph access for the session's devirtualized fast path.
+  ClusterGraph& mutable_graph() { return graph_; }
+
+ private:
+  ConflictPolicy policy_;
+  ClusterGraph graph_;
+};
+
+/// \brief The one-to-one exclusivity rule (Section 8 future work): when
+/// every entity has at most one record per collection, a crowd-confirmed
+/// match (a, b) implies every other pair touching a or b is non-matching.
+///
+/// Chain it *after* the transitive rule so transitivity takes precedence
+/// (the legacy `OneToOneLabeler` semantics). Only crowd answers set the
+/// matched flags; `num_exclusivity_violations` counts crowd matches that
+/// contradict the assumption.
+class OneToOneDeductionRule : public DeductionRule {
+ public:
+  std::string_view name() const override { return "one-to-one"; }
+  void Reset(int32_t num_objects) override;
+  void EnsureObjects(int32_t num_objects) override;
+  std::optional<Label> Deduce(ObjectId a, ObjectId b) override;
+  void Observe(ObjectId a, ObjectId b, Label label,
+               LabelSource source) override;
+  void FillReport(LabelingReport* report) const override;
+
+ private:
+  std::vector<bool> matched_;
+  int64_t num_deduced_ = 0;
+  int64_t num_violations_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Schedule / stop policies
+// ---------------------------------------------------------------------------
+
+/// \brief How crowdsourced pairs are published and resolved.
+enum class SchedulePolicy : uint8_t {
+  /// One pair at a time, in labeling order (Section 3.2). The only
+  /// schedule that supports arbitrary deduction-rule chains.
+  kSequential = 0,
+  /// Round-based batches (Algorithm 2): publish every must-crowdsource
+  /// pair of a round at once, resolve them (fanned over `num_threads`
+  /// pool workers, or an external batch source), deduce, repeat.
+  kRoundParallel = 1,
+  /// Re-plan after every single completed pair (Section 5.2), keeping the
+  /// platform saturated; driven through Start()/OnPairLabeled()/Finish().
+  kInstantDecision = 2,
+};
+
+/// Stable display name ("sequential", "round-parallel", "instant").
+std::string_view SchedulePolicyToString(SchedulePolicy policy);
+
+/// \brief When to stop paying for crowd answers.
+///
+/// Unbounded runs label everything; a budget caps the number of
+/// crowdsourced pairs (the Whang et al. [27] setting) — deduction keeps
+/// firing after exhaustion and unreachable pairs stay unlabeled.
+struct StopPolicy {
+  /// Maximum crowdsourced pairs; negative means unbounded. Construct
+  /// through the factories: only `Unbounded()` produces a negative value.
+  int64_t budget = -1;
+
+  static StopPolicy Unbounded() { return {}; }
+  /// A cap of `budget` crowdsourced pairs. Negative requests clamp to 0
+  /// (no crowdsourcing at all) — asking for a bounded run must never
+  /// silently produce an unbounded one.
+  static StopPolicy Budget(int64_t budget) {
+    return {budget < 0 ? 0 : budget};
+  }
+  bool bounded() const { return budget >= 0; }
+};
+
+/// Configuration of a `LabelingSession`.
+struct LabelingSessionOptions {
+  SchedulePolicy schedule = SchedulePolicy::kSequential;
+  StopPolicy stop;
+  /// Conflict handling of the default transitive rule. Ignored when rules
+  /// are installed explicitly via `AddRule` (the rule carries its own).
+  ConflictPolicy conflict_policy = ConflictPolicy::kKeepFirst;
+  /// Worker threads for the round-parallel schedule's oracle fan-out;
+  /// <= 1 keeps every oracle call on the calling thread, in batch order.
+  int num_threads = 1;
+};
+
+/// \brief Resolves the labels of one published batch of candidate
+/// positions. Must return one label per input position, positionally.
+///
+/// This is the seam between the round engine and whatever answers the
+/// questions: `LabelingSession::Run` supplies an oracle-backed source that
+/// fans the calls out over a worker pool; the crowd orchestrator supplies
+/// one that publishes the batch as HITs on the simulated platform.
+using BatchLabelFn =
+    std::function<Result<std::vector<Label>>(const std::vector<int32_t>&)>;
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// \brief The single labeling engine: transitive deduction interleaved
+/// with crowdsourcing, decomposed into independent, mixable policies —
+/// candidate input (materialized or streaming), deduction-rule chain,
+/// schedule, and stop condition — all producing one `LabelingReport`.
+///
+/// Policy matrix (✓ supported, — rejected with InvalidArgument):
+///
+///   schedule         rule chains          stop        input
+///   sequential       any                  any         materialized/stream
+///   round-parallel   transitive only      any         materialized/stream
+///   instant          transitive only      unbounded   materialized
+///
+/// The five legacy engines are thin wrappers over specific cells:
+/// `SequentialLabeler` (sequential/unbounded), `ParallelLabeler`
+/// (round-parallel/unbounded), `BudgetLabeler` (sequential/budget),
+/// `OneToOneLabeler` (sequential/unbounded + one-to-one rule), and
+/// `InstantDecisionEngine` (instant/unbounded). Outputs are byte-identical
+/// to those engines, pinned by the session equivalence suite.
+///
+/// Determinism: with a batch-safe oracle (see `LabelOracle`) the report is
+/// identical for every `num_threads`, exactly as the legacy parallel
+/// labeler guaranteed.
+class LabelingSession {
+ public:
+  explicit LabelingSession(LabelingSessionOptions options = {});
+  ~LabelingSession();
+
+  LabelingSession(LabelingSession&&) noexcept;
+  LabelingSession& operator=(LabelingSession&&) noexcept;
+
+  /// Appends `rule` to the deduction chain. When no rule is installed by
+  /// the first run, a `TransitiveDeductionRule(options.conflict_policy)`
+  /// is installed automatically. Returns *this for chaining.
+  LabelingSession& AddRule(std::unique_ptr<DeductionRule> rule);
+
+  /// Labels `pairs` following `order` (a permutation of positions into
+  /// `pairs`, validated once here — the session boundary), querying
+  /// `oracle` for every pair no rule can deduce, under the configured
+  /// schedule and stop policies.
+  Result<LabelingReport> Run(const CandidateSet& pairs,
+                             const std::vector<int32_t>& order,
+                             LabelOracle& oracle);
+
+  /// Round-parallel schedule with label resolution delegated to
+  /// `label_batch` — the building block for crowd-platform publication
+  /// strategies that answer a whole batch at once. `num_threads` is not
+  /// consulted; the batch source owns its own parallelism.
+  Result<LabelingReport> RunWithBatchSource(const CandidateSet& pairs,
+                                            const std::vector<int32_t>& order,
+                                            const BatchLabelFn& label_batch);
+
+  /// Streaming drive: pulls rounds from `stream`, orders each round by
+  /// `order_kind` (likelihood heuristics never need more than the round),
+  /// and labels it under the configured schedule with deduction state —
+  /// and any remaining budget — carried across rounds, so later rounds
+  /// ride on earlier rounds' clusters for free. Candidates are dropped
+  /// after their round: peak candidate memory is one round, which is what
+  /// lets >1M-pair campaigns run without materializing the candidate set.
+  ///
+  /// `truth` is required for kOptimal/kWorst orders, `order_rng` for
+  /// kRandom (both per `MakeLabelingOrder`). Sequential and round-parallel
+  /// schedules only.
+  Result<LabelingReport> RunStream(CandidateStream& stream,
+                                   OrderKind order_kind, LabelOracle& oracle,
+                                   const GroundTruthOracle* truth = nullptr,
+                                   Rng* order_rng = nullptr);
+
+  // --- Incremental protocol (kInstantDecision schedule) ---
+  //
+  //   1. `Start()` returns the initial set of positions to publish.
+  //   2. For every completed pair, `OnPairLabeled(pos, label)` returns the
+  //      *newly* publishable positions (possibly empty — completing a
+  //      matching pair never unlocks new work).
+  //   3. When `num_available() == 0`, call `Finish()` to resolve every
+  //      deduced label and obtain the report. Finish is idempotent.
+
+  /// Computes and marks published the initial must-crowdsource set.
+  /// `pairs` must outlive the session.
+  Result<std::vector<int32_t>> Start(const CandidateSet* pairs,
+                                     std::vector<int32_t> order);
+
+  /// Records the crowd label of a published pair and returns the positions
+  /// that must now be published. `pos` must be published and unlabeled.
+  Result<std::vector<int32_t>> OnPairLabeled(int32_t pos, Label label);
+
+  /// Resolves all deduced labels. Requires `num_available() == 0`.
+  Result<LabelingReport> Finish();
+
+  /// Published-but-not-yet-labeled count: the pairs available to workers.
+  int64_t num_available() const { return num_available_; }
+  /// Pairs labeled by the crowd so far.
+  int64_t num_crowdsourced() const { return num_crowdsourced_; }
+  /// Total published so far (labeled or not).
+  int64_t num_published() const { return num_published_; }
+
+  const LabelingSessionOptions& options() const { return options_; }
+
+ private:
+  // Installs the default transitive rule if the chain is empty.
+  void EnsureDefaultRule();
+  // Ensures the default rule, resets every rule over `num_objects`, and
+  // resets the budget and protocol state.
+  void BeginRun(int32_t num_objects);
+  // The conflict policy of a transitive-only chain; InvalidArgument when
+  // the chain holds anything else (round-parallel/instant requirement).
+  Result<ConflictPolicy> RequireTransitiveOnlyChain() const;
+  // Labels one pair through the rule chain (sequential schedule); writes
+  // the outcome at `report.outcomes[report_pos]`.
+  void LabelOnePair(const CandidatePair& pair, size_t report_pos,
+                    LabelOracle& oracle, LabelingReport& report);
+  // Round-parallel engine over one candidate window. `base_graph` seeds
+  // every scan with prior knowledge (null = fresh graphs, the legacy
+  // materialized behavior); `report_offset` maps window positions into the
+  // report.
+  Status RunRoundsOver(const CandidateSet& pairs,
+                       const std::vector<int32_t>& order,
+                       const BatchLabelFn& label_batch, ConflictPolicy policy,
+                       const ClusterGraph* base_graph, size_t report_offset,
+                       LabelingReport& report);
+  // Oracle-backed batch source fanning calls across `pool`.
+  Result<LabelingReport> RunRoundsWithOracle(const CandidateSet& pairs,
+                                             const std::vector<int32_t>& order,
+                                             LabelOracle& oracle);
+  // Instant-decision FIFO self-drive (Run with kInstantDecision).
+  Result<LabelingReport> RunInstantFifo(const CandidateSet& pairs,
+                                        const std::vector<int32_t>& order,
+                                        LabelOracle& oracle);
+  // Publishes every newly must-crowdsource position (instant protocol).
+  std::vector<int32_t> InstantScan();
+
+  LabelingSessionOptions options_;
+  std::vector<std::unique_ptr<DeductionRule>> rules_;
+  int64_t remaining_budget_ = -1;
+
+  // Instant-protocol state.
+  const CandidateSet* pairs_ = nullptr;
+  std::vector<int32_t> order_;
+  ConflictPolicy instant_policy_ = ConflictPolicy::kKeepFirst;
+  std::vector<std::optional<Label>> labels_;
+  std::vector<bool> published_;
+  int64_t num_available_ = 0;
+  int64_t num_crowdsourced_ = 0;
+  int64_t num_published_ = 0;
+  bool started_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Shared building blocks
+// ---------------------------------------------------------------------------
+
+/// Validates that `order` is a permutation of `[0, n)`. Every session run
+/// validates exactly once, at the session boundary; the legacy engines
+/// inherit the check through their wrappers.
+Status ValidateOrder(const std::vector<int32_t>& order, size_t n);
+
+/// \brief Identifies the pairs that can be crowdsourced in parallel
+/// (Algorithm 3, ParallelCrowdsourcedPairs).
+///
+/// Scans the labeling order once, inserting already-labeled pairs with
+/// their real labels and assuming every unlabeled pair is matching (the
+/// assumption that maximizes deducibility). An unlabeled pair that is still
+/// undeducible under this assumption can never become deducible from its
+/// prefix, whatever labels arrive later, so it *must* be crowdsourced.
+///
+/// `labels_by_pos[i]` is the label of candidate position `i` if known.
+/// Positions in `exclude_from_output` (e.g. already-published pairs, for
+/// the instant-decision optimization) are still treated as must-crowdsource
+/// pairs in the scan but are omitted from the returned set. A non-null
+/// `base_graph` seeds the scan with labels from outside `pairs` (earlier
+/// streaming rounds); it is copied, not mutated.
+std::vector<int32_t> ParallelCrowdsourcedPairs(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const std::vector<std::optional<Label>>& labels_by_pos,
+    const std::vector<bool>* exclude_from_output = nullptr,
+    ConflictPolicy policy = ConflictPolicy::kKeepFirst,
+    const ClusterGraph* base_graph = nullptr);
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_LABELING_SESSION_H_

@@ -1,60 +1,27 @@
 #include "core/one_to_one_labeler.h"
 
+#include <memory>
+
 #include "common/macros.h"
-#include "core/sequential_labeler.h"
+#include "core/labeling_session.h"
 
 namespace crowdjoin {
 
 Result<OneToOneLabeler::RunResult> OneToOneLabeler::Run(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     LabelOracle& oracle) const {
-  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
-
+  LabelingSession session;  // sequential, unbounded
+  session.AddRule(std::make_unique<TransitiveDeductionRule>())
+      .AddRule(std::make_unique<OneToOneDeductionRule>());
+  CJ_ASSIGN_OR_RETURN(const LabelingReport report,
+                      session.Run(pairs, order, oracle));
   RunResult result;
-  result.labeling.outcomes.resize(pairs.size());
-  const int32_t num_objects = NumObjectsSpanned(pairs);
-  ClusterGraph graph(num_objects);
-  // matched[o] is true once o has a crowd-confirmed or deduced match.
-  std::vector<bool> matched(static_cast<size_t>(num_objects), false);
-
-  for (int32_t pos : order) {
-    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-    PairOutcome& outcome = result.labeling.outcomes[static_cast<size_t>(pos)];
-
-    const Deduction deduction = graph.Deduce(pair.a, pair.b);
-    if (deduction != Deduction::kUndeduced) {
-      outcome.label = DeductionToLabel(deduction);
-      outcome.source = LabelSource::kDeduced;
-      ++result.labeling.num_deduced;
-      continue;
-    }
-    // One-to-one rule: if either endpoint is already matched (and the pair
-    // is not transitively matching, checked above), it is non-matching.
-    if (matched[static_cast<size_t>(pair.a)] ||
-        matched[static_cast<size_t>(pair.b)]) {
-      outcome.label = Label::kNonMatching;
-      outcome.source = LabelSource::kDeduced;
-      ++result.labeling.num_deduced;
-      ++result.num_one_to_one_deduced;
-      // Feed the deduced edge to the graph so transitivity can build on it.
-      graph.Add(pair.a, pair.b, Label::kNonMatching);
-      continue;
-    }
-
-    outcome.label = oracle.GetLabel(pair.a, pair.b);
-    outcome.source = LabelSource::kCrowdsourced;
-    ++result.labeling.num_crowdsourced;
-    result.labeling.crowdsourced_per_iteration.push_back(1);
-    graph.Add(pair.a, pair.b, outcome.label);
-    if (outcome.label == Label::kMatching) {
-      if (matched[static_cast<size_t>(pair.a)] ||
-          matched[static_cast<size_t>(pair.b)]) {
-        ++result.num_exclusivity_violations;
-      }
-      matched[static_cast<size_t>(pair.a)] = true;
-      matched[static_cast<size_t>(pair.b)] = true;
-    }
-  }
+  result.labeling = report.ToLabelingResult();
+  // The legacy labeler never surfaced graph conflicts (none are reachable
+  // through this flow: only transitively-undeduced pairs are ever added).
+  result.labeling.num_conflicts = 0;
+  result.num_one_to_one_deduced = report.num_one_to_one_deduced;
+  result.num_exclusivity_violations = report.num_exclusivity_violations;
   return result;
 }
 

@@ -27,6 +27,10 @@ namespace crowdjoin {
 /// crowd answers that contradicted the assumption (a second match for an
 /// already-matched object) — nonzero counts mean the assumption is wrong
 /// for the workload.
+///
+/// Thin wrapper over `LabelingSession` with the rule chain
+/// [TransitiveDeductionRule, OneToOneDeductionRule]; byte-identical to the
+/// pre-session implementation.
 class OneToOneLabeler {
  public:
   /// Result of a one-to-one labeling run.

@@ -1,122 +1,33 @@
 #include "core/parallel_labeler.h"
 
-#include <optional>
-
 #include "common/macros.h"
-#include "common/thread_pool.h"
-#include "core/sequential_labeler.h"
 
 namespace crowdjoin {
 
-std::vector<int32_t> ParallelCrowdsourcedPairs(
-    const CandidateSet& pairs, const std::vector<int32_t>& order,
-    const std::vector<std::optional<Label>>& labels_by_pos,
-    const std::vector<bool>* exclude_from_output, ConflictPolicy policy) {
-  std::vector<int32_t> publish;
-  ClusterGraph graph(NumObjectsSpanned(pairs), policy);
-  for (int32_t pos : order) {
-    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-    const std::optional<Label>& label = labels_by_pos[static_cast<size_t>(pos)];
-    if (label.has_value()) {
-      graph.Add(pair.a, pair.b, *label);
-      continue;
-    }
-    if (graph.Deduce(pair.a, pair.b) == Deduction::kUndeduced) {
-      if (exclude_from_output == nullptr ||
-          !(*exclude_from_output)[static_cast<size_t>(pos)]) {
-        publish.push_back(pos);
-      }
-      // Suppose the pair is matching (Algorithm 3, line 11).
-      graph.Add(pair.a, pair.b, Label::kMatching);
-    }
-    // Optimistically deducible pairs contribute nothing (their label is
-    // already implied by the graph or contradicts the assumption).
-  }
-  return publish;
+LabelingSession ParallelLabeler::MakeSession() const {
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kRoundParallel;
+  options.conflict_policy = policy_;
+  options.num_threads = num_threads_;
+  return LabelingSession(options);
 }
 
 Result<LabelingResult> ParallelLabeler::Run(const CandidateSet& pairs,
                                             const std::vector<int32_t>& order,
                                             LabelOracle& oracle) const {
-  // One pool shared by every round of this run. Created only when real
-  // parallelism was requested: the single-threaded path calls the oracle
-  // inline in batch order, which keeps order-dependent oracles (e.g.
-  // NoisyOracle's sequential RNG stream) exactly as deterministic as the
-  // pre-threading implementation.
-  std::optional<ThreadPool> pool;
-  if (num_threads_ > 1) pool.emplace(num_threads_);
-
-  return RunWithBatchSource(
-      pairs, order,
-      [&](const std::vector<int32_t>& batch) -> Result<std::vector<Label>> {
-        return ParallelMap(
-            pool.has_value() ? &*pool : nullptr,
-            static_cast<int64_t>(batch.size()), [&](int64_t i) {
-              const CandidatePair& pair =
-                  pairs[static_cast<size_t>(batch[static_cast<size_t>(i)])];
-              return oracle.GetLabel(pair.a, pair.b);
-            });
-      });
+  LabelingSession session = MakeSession();
+  CJ_ASSIGN_OR_RETURN(const LabelingReport report,
+                      session.Run(pairs, order, oracle));
+  return report.ToLabelingResult();
 }
 
 Result<LabelingResult> ParallelLabeler::RunWithBatchSource(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     const BatchLabelFn& label_batch) const {
-  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
-
-  LabelingResult result;
-  result.outcomes.resize(pairs.size());
-  std::vector<std::optional<Label>> labels(pairs.size());
-  size_t num_labeled = 0;
-
-  while (num_labeled < pairs.size()) {
-    // Identify and "publish" this round's batch (Algorithm 2, line 4).
-    const std::vector<int32_t> batch =
-        ParallelCrowdsourcedPairs(pairs, order, labels,
-                                  /*exclude_from_output=*/nullptr, policy_);
-    CJ_CHECK(!batch.empty());  // undeduced pairs always remain publishable
-
-    // Crowdsource all batch pairs "simultaneously" (line 5), then merge
-    // the answers back by batch position on this thread — the step that
-    // makes the result independent of how the source resolved them.
-    CJ_ASSIGN_OR_RETURN(const std::vector<Label> batch_labels,
-                        label_batch(batch));
-    CJ_CHECK(batch_labels.size() == batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const int32_t pos = batch[i];
-      const Label label = batch_labels[i];
-      labels[static_cast<size_t>(pos)] = label;
-      result.outcomes[static_cast<size_t>(pos)] = {
-          label, LabelSource::kCrowdsourced};
-      ++result.num_crowdsourced;
-      ++num_labeled;
-    }
-    result.crowdsourced_per_iteration.push_back(
-        static_cast<int64_t>(batch.size()));
-
-    // Deduce every pair that became deducible from its prefix of labeled
-    // pairs (lines 6-8): one ordered scan, cascading deductions.
-    ClusterGraph graph(NumObjectsSpanned(pairs), policy_);
-    for (int32_t pos : order) {
-      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-      auto& label = labels[static_cast<size_t>(pos)];
-      if (label.has_value()) {
-        graph.Add(pair.a, pair.b, *label);
-        continue;
-      }
-      const Deduction deduction = graph.Deduce(pair.a, pair.b);
-      if (deduction != Deduction::kUndeduced) {
-        label = DeductionToLabel(deduction);
-        result.outcomes[static_cast<size_t>(pos)] = {*label,
-                                                     LabelSource::kDeduced};
-        ++result.num_deduced;
-        ++num_labeled;
-        // The deduced label is already implied by the graph: no Add needed.
-      }
-    }
-    result.num_conflicts = graph.num_conflicts();
-  }
-  return result;
+  LabelingSession session = MakeSession();
+  CJ_ASSIGN_OR_RETURN(const LabelingReport report,
+                      session.RunWithBatchSource(pairs, order, label_batch));
+  return report.ToLabelingResult();
 }
 
 }  // namespace crowdjoin

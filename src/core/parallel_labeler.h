@@ -1,46 +1,16 @@
 #ifndef CROWDJOIN_CORE_PARALLEL_LABELER_H_
 #define CROWDJOIN_CORE_PARALLEL_LABELER_H_
 
-#include <functional>
-#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "core/candidate.h"
 #include "core/labeling_result.h"
+#include "core/labeling_session.h"
 #include "core/oracle.h"
 #include "graph/cluster_graph.h"
 
 namespace crowdjoin {
-
-/// \brief Identifies the pairs that can be crowdsourced in parallel
-/// (Algorithm 3, ParallelCrowdsourcedPairs).
-///
-/// Scans the labeling order once, inserting already-labeled pairs with
-/// their real labels and assuming every unlabeled pair is matching (the
-/// assumption that maximizes deducibility). An unlabeled pair that is still
-/// undeducible under this assumption can never become deducible from its
-/// prefix, whatever labels arrive later, so it *must* be crowdsourced.
-///
-/// `labels_by_pos[i]` is the label of candidate position `i` if known.
-/// Positions in `exclude_from_output` (e.g. already-published pairs, for
-/// the instant-decision optimization) are still treated as must-crowdsource
-/// pairs in the scan but are omitted from the returned set.
-std::vector<int32_t> ParallelCrowdsourcedPairs(
-    const CandidateSet& pairs, const std::vector<int32_t>& order,
-    const std::vector<std::optional<Label>>& labels_by_pos,
-    const std::vector<bool>* exclude_from_output = nullptr,
-    ConflictPolicy policy = ConflictPolicy::kKeepFirst);
-
-/// \brief Resolves the labels of one published batch of candidate
-/// positions. Must return one label per input position, positionally.
-///
-/// This is the seam between the round engine and whatever answers the
-/// questions: `ParallelLabeler::Run` supplies an oracle-backed source that
-/// fans the calls out over a worker pool; the crowd orchestrator supplies
-/// one that publishes the batch as HITs on the simulated platform.
-using BatchLabelFn =
-    std::function<Result<std::vector<Label>>(const std::vector<int32_t>&)>;
 
 /// \brief The round-based parallel labeling algorithm of Section 5.1
 /// (Algorithm 2).
@@ -50,6 +20,10 @@ using BatchLabelFn =
 /// until all pairs are labeled. The crowdsourced pair *set* is identical to
 /// the sequential labeler's on the same order; only the number of rounds
 /// differs (Figures 13–14).
+///
+/// Thin wrapper over `LabelingSession` (round-parallel schedule, unbounded
+/// stop, transitive rule). `ParallelCrowdsourcedPairs` and `BatchLabelFn`
+/// now live in core/labeling_session.h (re-exported through this header).
 ///
 /// **Threading & determinism contract.** With `num_threads > 1`, `Run`
 /// crowdsources each batch across that many `ThreadPool` workers. The
@@ -87,6 +61,8 @@ class ParallelLabeler {
   int num_threads() const { return num_threads_; }
 
  private:
+  LabelingSession MakeSession() const;
+
   ConflictPolicy policy_;
   int num_threads_ = 1;
 };

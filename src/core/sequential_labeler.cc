@@ -1,61 +1,19 @@
 #include "core/sequential_labeler.h"
 
-#include <string>
-
 #include "common/macros.h"
-#include "common/string_util.h"
 
 namespace crowdjoin {
-
-Status ValidateOrder(const std::vector<int32_t>& order, size_t n) {
-  if (order.size() != n) {
-    return Status::InvalidArgument(
-        StrFormat("order has %zu entries for %zu pairs", order.size(), n));
-  }
-  std::vector<bool> seen(n, false);
-  for (int32_t pos : order) {
-    if (pos < 0 || static_cast<size_t>(pos) >= n) {
-      return Status::InvalidArgument(
-          StrFormat("order entry %d out of range [0, %zu)", pos, n));
-    }
-    if (seen[static_cast<size_t>(pos)]) {
-      return Status::InvalidArgument(
-          StrFormat("order entry %d appears twice", pos));
-    }
-    seen[static_cast<size_t>(pos)] = true;
-  }
-  return Status::OK();
-}
 
 Result<LabelingResult> SequentialLabeler::Run(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     LabelOracle& oracle) const {
-  CJ_RETURN_IF_ERROR(ValidateOrder(order, pairs.size()));
-
-  LabelingResult result;
-  result.outcomes.resize(pairs.size());
-  ClusterGraph graph(NumObjectsSpanned(pairs), policy_);
-
-  for (int32_t pos : order) {
-    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-    const Deduction deduction = graph.Deduce(pair.a, pair.b);
-    PairOutcome& outcome = result.outcomes[static_cast<size_t>(pos)];
-    if (deduction == Deduction::kUndeduced) {
-      outcome.label = oracle.GetLabel(pair.a, pair.b);
-      outcome.source = LabelSource::kCrowdsourced;
-      ++result.num_crowdsourced;
-      result.crowdsourced_per_iteration.push_back(1);
-      // A pair that was undeduced cannot conflict: matching merges two
-      // distinct clusters, non-matching adds an edge between them.
-      graph.Add(pair.a, pair.b, outcome.label);
-    } else {
-      outcome.label = DeductionToLabel(deduction);
-      outcome.source = LabelSource::kDeduced;
-      ++result.num_deduced;
-    }
-  }
-  result.num_conflicts = graph.num_conflicts();
-  return result;
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kSequential;
+  options.conflict_policy = policy_;
+  LabelingSession session(options);
+  CJ_ASSIGN_OR_RETURN(const LabelingReport report,
+                      session.Run(pairs, order, oracle));
+  return report.ToLabelingResult();
 }
 
 }  // namespace crowdjoin

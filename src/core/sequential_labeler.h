@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/candidate.h"
 #include "core/labeling_result.h"
+#include "core/labeling_session.h"
 #include "core/oracle.h"
 #include "graph/cluster_graph.h"
 
@@ -18,6 +19,10 @@ namespace crowdjoin {
 /// crowdsourced (one oracle query) otherwise. This defines the canonical
 /// crowdsourced-pair count C(ω) of Section 4 — the parallel labeler
 /// crowdsources exactly the same set of pairs, only in batches.
+///
+/// Thin wrapper over `LabelingSession` (sequential schedule, unbounded
+/// stop, transitive rule); outputs are byte-identical to the pre-session
+/// implementation, pinned by the session equivalence suite.
 class SequentialLabeler {
  public:
   /// `policy` governs contradictory labels (only reachable with noisy
@@ -38,9 +43,6 @@ class SequentialLabeler {
  private:
   ConflictPolicy policy_;
 };
-
-/// Validates that `order` is a permutation of `[0, n)`.
-Status ValidateOrder(const std::vector<int32_t>& order, size_t n);
 
 }  // namespace crowdjoin
 

@@ -4,8 +4,7 @@
 #include <optional>
 
 #include "common/macros.h"
-#include "core/instant_decision.h"
-#include "core/parallel_labeler.h"
+#include "core/labeling_session.h"
 
 namespace crowdjoin {
 
@@ -81,16 +80,19 @@ Result<std::vector<AvailabilityPoint>> SimulateAvailability(
     return series;
   }
 
-  // Instant decision: the engine re-plans after every completion.
-  InstantDecisionEngine engine(&pairs, order);
-  CJ_ASSIGN_OR_RETURN(std::vector<int32_t> available, engine.Start());
+  // Instant decision: the session re-plans after every completion.
+  LabelingSessionOptions session_options;
+  session_options.schedule = SchedulePolicy::kInstantDecision;
+  LabelingSession session(session_options);
+  CJ_ASSIGN_OR_RETURN(std::vector<int32_t> available,
+                      session.Start(&pairs, order));
   while (!available.empty()) {
     const int32_t pos = TakeNext(available, pairs, completion_order, rng);
     const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
     const Label label = oracle.GetLabel(pair.a, pair.b);
     ++num_crowdsourced;
     CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
-                        engine.OnPairLabeled(pos, label));
+                        session.OnPairLabeled(pos, label));
     available.insert(available.end(), fresh.begin(), fresh.end());
     series.push_back(
         {num_crowdsourced, static_cast<int64_t>(available.size())});

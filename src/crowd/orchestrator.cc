@@ -4,8 +4,6 @@
 #include <unordered_map>
 
 #include "common/macros.h"
-#include "core/instant_decision.h"
-#include "core/parallel_labeler.h"
 #include "crowd/platform.h"
 
 namespace crowdjoin {
@@ -26,6 +24,28 @@ std::vector<PairTask> TakeHitTasks(const CandidateSet& pairs,
     queue.pop_front();
   }
   return tasks;
+}
+
+LabelingSession MakeInstantSession() {
+  LabelingSessionOptions options;
+  options.schedule = SchedulePolicy::kInstantDecision;
+  return LabelingSession(options);
+}
+
+// Copies a fully-labeled report's labels into the campaign stats.
+void FillAmtStats(const LabelingReport& report, CrowdPlatform& platform,
+                  AmtRunStats& stats) {
+  stats.final_labels.reserve(report.outcomes.size());
+  for (const std::optional<PairOutcome>& outcome : report.outcomes) {
+    CJ_CHECK(outcome.has_value());
+    stats.final_labels.push_back(outcome->label);
+  }
+  stats.num_hits = platform.num_hits_published();
+  stats.num_assignments = platform.num_assignments_completed();
+  stats.total_hours = platform.now_hours();
+  stats.total_cost_cents = platform.total_cost_cents();
+  stats.num_crowdsourced_pairs = report.num_crowdsourced;
+  stats.num_deduced_pairs = report.num_deduced;
 }
 
 }  // namespace
@@ -66,10 +86,11 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
                                      const CrowdConfig& config,
                                      const GroundTruthOracle& truth) {
   CrowdPlatform platform(config, &truth);
-  InstantDecisionEngine engine(&pairs, order);
+  LabelingSession session = MakeInstantSession();
   std::deque<int32_t> buffer;
 
-  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial, engine.Start());
+  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial,
+                      session.Start(&pairs, order));
   buffer.insert(buffer.end(), initial.begin(), initial.end());
 
   int64_t in_flight = 0;
@@ -96,23 +117,14 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
     --in_flight;
     for (const CompletedPair& pair : result->pairs) {
       CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
-                          engine.OnPairLabeled(pair.position, pair.label));
+                          session.OnPairLabeled(pair.position, pair.label));
       buffer.insert(buffer.end(), fresh.begin(), fresh.end());
     }
   }
 
-  CJ_ASSIGN_OR_RETURN(const LabelingResult labeling, engine.Finish());
+  CJ_ASSIGN_OR_RETURN(const LabelingReport labeling, session.Finish());
   AmtRunStats stats;
-  stats.final_labels.reserve(pairs.size());
-  for (const PairOutcome& outcome : labeling.outcomes) {
-    stats.final_labels.push_back(outcome.label);
-  }
-  stats.num_hits = platform.num_hits_published();
-  stats.num_assignments = platform.num_assignments_completed();
-  stats.total_hours = platform.now_hours();
-  stats.total_cost_cents = platform.total_cost_cents();
-  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
-  stats.num_deduced_pairs = labeling.num_deduced;
+  FillAmtStats(labeling, platform, stats);
   return stats;
 }
 
@@ -123,12 +135,14 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
   CrowdPlatform platform(config, &truth);
   // Label resolution comes from the platform (which already services a
   // round's HITs concurrently via the simulated worker pool), so the
-  // labeler is constructed without a thread count — config.num_threads
-  // applies to oracle-driven local labeling (ParallelLabeler::Run).
-  const ParallelLabeler labeler(ConflictPolicy::kKeepFirst);
+  // session is constructed without a thread count — config.num_threads
+  // applies to oracle-driven local labeling (RunLocalParallelLabeling).
+  LabelingSessionOptions session_options;
+  session_options.schedule = SchedulePolicy::kRoundParallel;
+  LabelingSession session(session_options);
   CJ_ASSIGN_OR_RETURN(
-      const LabelingResult labeling,
-      labeler.RunWithBatchSource(
+      const LabelingReport labeling,
+      session.RunWithBatchSource(
           pairs, order,
           [&](const std::vector<int32_t>& batch)
               -> Result<std::vector<Label>> {
@@ -169,38 +183,74 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
           }));
 
   AmtRunStats stats;
-  stats.final_labels.reserve(pairs.size());
-  for (const PairOutcome& outcome : labeling.outcomes) {
-    stats.final_labels.push_back(outcome.label);
-  }
-  stats.num_hits = platform.num_hits_published();
-  stats.num_assignments = platform.num_assignments_completed();
-  stats.total_hours = platform.now_hours();
-  stats.total_cost_cents = platform.total_cost_cents();
-  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
-  stats.num_deduced_pairs = labeling.num_deduced;
+  FillAmtStats(labeling, platform, stats);
   return stats;
 }
 
-Result<LabelingResult> RunLocalParallelLabeling(
+Result<LabelingReport> RunLocalParallelLabeling(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     const CrowdConfig& config, const GroundTruthOracle& truth) {
-  const ParallelLabeler labeler(ConflictPolicy::kKeepFirst,
-                                config.num_threads);
+  LabelingSessionOptions session_options;
+  session_options.schedule = SchedulePolicy::kRoundParallel;
+  session_options.num_threads = config.num_threads;
+  LabelingSession session(session_options);
   if (config.false_negative_rate == 0.0 &&
       config.false_positive_rate == 0.0) {
     GroundTruthOracle oracle = truth;
-    return labeler.Run(pairs, order, oracle);
+    return session.Run(pairs, order, oracle);
   }
   HashNoisyOracle oracle(&truth, config.false_negative_rate,
                          config.false_positive_rate, config.seed);
-  return labeler.Run(pairs, order, oracle);
+  return session.Run(pairs, order, oracle);
 }
 
 Result<StreamingCampaignStats> RunStreamingCampaign(
     RecordSource& source, const RecordScorer* scorer,
     const StreamingCampaignConfig& config) {
   StreamingCampaignStats stats;
+
+  if (config.label_tasks_per_round > 0) {
+    // Round-by-round mode: candidates flow from the sharded join's probe
+    // tasks straight into the labeling session; the candidate set is never
+    // materialized (peak candidate memory = one round).
+    if (scorer != nullptr) {
+      return Status::InvalidArgument(
+          "round-by-round labeling requires the scorer-free path");
+    }
+    StreamingCandidateFeed::Options feed_options;
+    feed_options.candidates = config.candidates;
+    feed_options.sharding = config.sharding;
+    feed_options.tasks_per_round = config.label_tasks_per_round;
+    CJ_ASSIGN_OR_RETURN(
+        const std::unique_ptr<StreamingCandidateFeed> feed,
+        StreamingCandidateFeed::Open(source, feed_options));
+    stats.entity_of = feed->entity_of();
+    stats.num_records = feed->num_records();
+
+    const GroundTruthOracle truth(stats.entity_of);
+    Rng order_rng(config.crowd.seed);
+    LabelingSessionOptions session_options;
+    session_options.schedule = SchedulePolicy::kRoundParallel;
+    session_options.num_threads = config.crowd.num_threads;
+    LabelingSession session(session_options);
+    if (config.crowd.false_negative_rate == 0.0 &&
+        config.crowd.false_positive_rate == 0.0) {
+      GroundTruthOracle oracle = truth;
+      CJ_ASSIGN_OR_RETURN(stats.labeling,
+                          session.RunStream(*feed, config.order, oracle,
+                                            &truth, &order_rng));
+    } else {
+      HashNoisyOracle oracle(&truth, config.crowd.false_negative_rate,
+                             config.crowd.false_positive_rate,
+                             config.crowd.seed);
+      CJ_ASSIGN_OR_RETURN(stats.labeling,
+                          session.RunStream(*feed, config.order, oracle,
+                                            &truth, &order_rng));
+    }
+    stats.num_candidates = feed->num_candidates();
+    return stats;
+  }
+
   CJ_ASSIGN_OR_RETURN(
       stats.candidates,
       GenerateCandidatesStreaming(source, scorer, config.candidates,
@@ -224,12 +274,13 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
                                       const CrowdConfig& config,
                                       const GroundTruthOracle& truth) {
   // Determine the crowdsourced pair sequence with a synchronous (instant)
-  // ground-truth run of the same engine Parallel(ID) uses, so both
+  // ground-truth run of the same schedule Parallel(ID) uses, so both
   // publication strategies pay for exactly the same HITs (Section 6.4).
-  InstantDecisionEngine engine(&pairs, order);
+  LabelingSession session = MakeInstantSession();
   std::deque<int32_t> pending;
   std::vector<int32_t> crowdsourced_sequence;
-  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial, engine.Start());
+  CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> initial,
+                      session.Start(&pairs, order));
   pending.insert(pending.end(), initial.begin(), initial.end());
   while (!pending.empty()) {
     const int32_t pos = pending.front();
@@ -238,10 +289,10 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
     const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
     CJ_ASSIGN_OR_RETURN(
         const std::vector<int32_t> fresh,
-        engine.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)));
+        session.OnPairLabeled(pos, truth.Truth(pair.a, pair.b)));
     pending.insert(pending.end(), fresh.begin(), fresh.end());
   }
-  CJ_ASSIGN_OR_RETURN(const LabelingResult labeling, engine.Finish());
+  CJ_ASSIGN_OR_RETURN(const LabelingReport labeling, session.Finish());
 
   // Publish those HITs strictly one at a time.
   CrowdPlatform platform(config, &truth);
@@ -257,16 +308,7 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
   }
 
   AmtRunStats stats;
-  stats.final_labels.reserve(pairs.size());
-  for (const PairOutcome& outcome : labeling.outcomes) {
-    stats.final_labels.push_back(outcome.label);
-  }
-  stats.num_hits = platform.num_hits_published();
-  stats.num_assignments = platform.num_assignments_completed();
-  stats.total_hours = platform.now_hours();
-  stats.total_cost_cents = platform.total_cost_cents();
-  stats.num_crowdsourced_pairs = labeling.num_crowdsourced;
-  stats.num_deduced_pairs = labeling.num_deduced;
+  FillAmtStats(labeling, platform, stats);
   return stats;
 }
 

@@ -8,6 +8,7 @@
 #include "core/candidate.h"
 #include "core/labeling_order.h"
 #include "core/labeling_result.h"
+#include "core/labeling_session.h"
 #include "core/oracle.h"
 #include "crowd/config.h"
 #include "datagen/record_source.h"
@@ -37,11 +38,11 @@ Result<AmtRunStats> RunNonTransitiveAmt(const CandidateSet& pairs,
                                         const CrowdConfig& config,
                                         const GroundTruthOracle& truth);
 
-/// \brief "Transitive" campaign: the instant-decision engine publishes
-/// only must-crowdsource pairs (in the given labeling order), batched into
-/// HITs; every other pair's label is deduced transitively. Majority-voted
-/// crowd answers feed the deduction, so worker errors propagate — exactly
-/// the effect Table 2 quantifies.
+/// \brief "Transitive" campaign: the labeling session's instant-decision
+/// schedule publishes only must-crowdsource pairs (in the given labeling
+/// order), batched into HITs; every other pair's label is deduced
+/// transitively. Majority-voted crowd answers feed the deduction, so worker
+/// errors propagate — exactly the effect Table 2 quantifies.
 Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
                                      const std::vector<int32_t>& order,
                                      const CrowdConfig& config,
@@ -61,11 +62,11 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
 /// platform at once (batched into HITs), waits for every HIT of the round,
 /// feeds the majority votes into the deduction scan, and repeats.
 ///
-/// Runs `ParallelLabeler::RunWithBatchSource` with the platform as batch
-/// source. `config.num_threads` plays no role here: it parallelizes
-/// oracle-driven labeling (`ParallelLabeler::Run`), whereas this
-/// campaign's labels come from the platform, which already services a
-/// round's HITs concurrently through the simulated worker pool.
+/// Runs the labeling session's round-parallel schedule with the platform
+/// as batch source. `config.num_threads` plays no role here: it
+/// parallelizes oracle-driven labeling, whereas this campaign's labels
+/// come from the platform, which already services a round's HITs
+/// concurrently through the simulated worker pool.
 Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
                                    const std::vector<int32_t>& order,
                                    const CrowdConfig& config,
@@ -77,10 +78,10 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
 ///
 /// Builds a batch-safe oracle from the config — exact ground truth when
 /// both error rates are zero, otherwise a `HashNoisyOracle` seeded with
-/// `config.seed` — and runs the round-based parallel labeler with its
+/// `config.seed` — and runs the session's round-parallel schedule with its
 /// oracle calls fanned across `config.num_threads` pool workers. By the
-/// labeler's contract the result is identical for every `num_threads`.
-Result<LabelingResult> RunLocalParallelLabeling(
+/// session's contract the report is identical for every `num_threads`.
+Result<LabelingReport> RunLocalParallelLabeling(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     const CrowdConfig& config, const GroundTruthOracle& truth);
 
@@ -95,7 +96,14 @@ struct StreamingCampaignConfig {
   /// the random order (when chosen).
   CrowdConfig crowd;
   /// Labeling order; the default is the paper's likelihood heuristic.
+  /// (Streamed campaigns order each round; see `LabelingSession::RunStream`.)
   OrderKind order = OrderKind::kExpected;
+  /// 0 materializes the candidate set before labeling (the legacy shape).
+  /// > 0 feeds candidates into the labeling session round by round — each
+  /// round is the output of that many sharded-join probe tasks — so the
+  /// full candidate set is never materialized (peak candidate memory = one
+  /// round). Requires the scorer-free path.
+  int64_t label_tasks_per_round = 0;
 };
 
 /// Outcome of a streaming campaign.
@@ -103,11 +111,13 @@ struct StreamingCampaignStats {
   int64_t num_records = 0;
   int64_t num_candidates = 0;
   /// The machine step's candidate pairs (ids reference stream positions).
+  /// Left empty in round-by-round mode (`label_tasks_per_round > 0`) —
+  /// not materializing this vector is that mode's whole point.
   CandidateSet candidates;
   /// Ground truth captured while streaming, indexed by record position.
   std::vector<int32_t> entity_of;
   /// Full labeling outcome (crowdsourced + deduced counts and labels).
-  LabelingResult labeling;
+  LabelingReport labeling;
 };
 
 /// \brief End-to-end campaign over a `RecordSource`: stream -> sharded
@@ -117,7 +127,9 @@ struct StreamingCampaignStats {
 /// `scorer` may be null (see `GenerateCandidatesStreaming`); that is the
 /// memory-lean configuration used at the largest scale factors. Ground
 /// truth is captured from the stream, so the oracle (exact, or noisy per
-/// `config.crowd` error rates) needs no materialized dataset either.
+/// `config.crowd` error rates) needs no materialized dataset either. With
+/// `config.label_tasks_per_round > 0` the campaign streams candidates into
+/// the session round by round (scorer must be null).
 Result<StreamingCampaignStats> RunStreamingCampaign(
     RecordSource& source, const RecordScorer* scorer,
     const StreamingCampaignConfig& config);

@@ -1,5 +1,6 @@
 #include "datagen/streaming_generator.h"
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +21,110 @@ uint64_t BlockSeed(uint64_t base_seed, int32_t block) {
 }
 
 namespace {
+
+// ---------------------------------------------------------------------------
+// Shared block iterator: the round-robin block state machine both streaming
+// sources used to duplicate. Owns the per-block RNG seeding, the
+// cluster-size plan, and the (entity, record-in-cluster) walk; the dataset
+// Impls only supply the cluster sampler and build entities/records. RNG
+// consumption order is exactly the historical one, so 1x streams stay
+// byte-identical to the batch generators.
+// ---------------------------------------------------------------------------
+
+class BlockCursor {
+ public:
+  /// Samples one block's cluster-size plan from the block-seeded `rng`.
+  using Sampler = std::function<Result<std::vector<int32_t>>(Rng&)>;
+
+  BlockCursor(uint64_t base_seed, int32_t scale_factor, Sampler sampler)
+      : base_seed_(base_seed),
+        scale_factor_(scale_factor),
+        sampler_(std::move(sampler)),
+        rng_(base_seed) {
+    Restart();
+  }
+
+  /// Rewinds to the first record of block 0.
+  void Restart() {
+    status_ = Status::OK();
+    next_id_ = 0;
+    entity_id_offset_ = 0;
+    if (scale_factor_ < 1) {
+      status_ = Status::InvalidArgument("scale_factor must be >= 1");
+      block_ = scale_factor_;  // exhausted
+      return;
+    }
+    StartBlock(0);
+  }
+
+  /// Positions the cursor on the next record slot, crossing block
+  /// boundaries as needed. Returns false at end of stream (or on a
+  /// sampling error, carried in `status()`).
+  bool NextSlot() {
+    while (block_ < scale_factor_ && entity_index_ >= cluster_sizes_.size()) {
+      entity_id_offset_ += static_cast<int32_t>(cluster_sizes_.size());
+      StartBlock(block_ + 1);
+    }
+    return block_ < scale_factor_;
+  }
+
+  /// Consumes the current slot (call after building its record).
+  void Advance() {
+    ++next_id_;
+    if (++record_in_cluster_ >= cluster_sizes_[entity_index_]) {
+      record_in_cluster_ = 0;
+      ++entity_index_;
+    }
+  }
+
+  // Slot accessors, valid after NextSlot() returned true.
+  /// True when the slot starts a new cluster (its canonical record).
+  bool new_entity() const { return record_in_cluster_ == 0; }
+  int32_t record_in_cluster() const { return record_in_cluster_; }
+  int32_t cluster_size() const { return cluster_sizes_[entity_index_]; }
+  /// Global entity id of the slot's cluster.
+  int32_t entity() const {
+    return entity_id_offset_ + static_cast<int32_t>(entity_index_);
+  }
+  /// Global record id of the slot.
+  ObjectId next_id() const { return next_id_; }
+
+  const Status& status() const { return status_; }
+  /// The block-seeded RNG; entity/record construction draws from it. The
+  /// address is stable, so a Corruptor may hold a pointer to it.
+  Rng& rng() { return rng_; }
+
+ private:
+  // Seeds the RNG for block `b` and samples its cluster-size plan. On
+  // sampling failure the stream ends and `status_` carries the error.
+  void StartBlock(int32_t b) {
+    block_ = b;
+    entity_index_ = 0;
+    record_in_cluster_ = 0;
+    if (block_ >= scale_factor_) return;  // end of stream
+    rng_ = Rng(BlockSeed(base_seed_, block_));
+    Result<std::vector<int32_t>> sizes = sampler_(rng_);
+    if (!sizes.ok()) {
+      status_ = sizes.status();
+      block_ = scale_factor_;  // exhausted
+      return;
+    }
+    cluster_sizes_ = std::move(sizes).value();
+  }
+
+  const uint64_t base_seed_;
+  const int32_t scale_factor_;
+  const Sampler sampler_;
+  Status status_;
+  Rng rng_;
+
+  std::vector<int32_t> cluster_sizes_;  // current block's plan
+  int32_t block_ = 0;
+  size_t entity_index_ = 0;  // within the current block
+  int32_t record_in_cluster_ = 0;
+  int32_t entity_id_offset_ = 0;  // global id of the block's first entity
+  ObjectId next_id_ = 0;
+};
 
 // ---------------------------------------------------------------------------
 // Paper entity/record construction. This is the single home of the
@@ -265,85 +370,38 @@ Record MakeProductRecord(const ProductEntity& entity, ObjectId id,
 struct StreamingPaperSource::Impl {
   Impl(const PaperDatasetConfig& config, int32_t scale_factor)
       : config(config),
-        scale_factor(scale_factor),
-        rng(config.seed),
-        corruptor(config.corruption, &rng),
+        cursor(config.seed, scale_factor,
+               [this](Rng& rng) {
+                 return SamplePowerLawClusterSizes(this->config.clusters, rng);
+               }),
+        corruptor(config.corruption, &cursor.rng()),
         title_sampler(wordlists::TitleWords().size(), 1.05) {
     meta.name = "paper";
     meta.schema.field_names = {"author", "title", "venue", "date", "pages"};
     meta.bipartite = false;
     meta.total_records =
         static_cast<int64_t>(scale_factor) * config.clusters.total_records;
-    Restart();
-  }
-
-  void Restart() {
-    status = Status::OK();
-    next_id = 0;
-    entity_id_offset = 0;
-    if (scale_factor < 1) {
-      status = Status::InvalidArgument("scale_factor must be >= 1");
-      block = scale_factor;  // exhausted
-      return;
-    }
-    StartBlock(0);
-  }
-
-  // Seeds the RNG for `b` and samples its cluster-size plan. On sampling
-  // failure the stream ends and `status` carries the error.
-  void StartBlock(int32_t b) {
-    block = b;
-    entity_index = 0;
-    record_in_cluster = 0;
-    if (block >= scale_factor) return;  // end of stream
-    rng = Rng(BlockSeed(config.seed, block));
-    Result<std::vector<int32_t>> sizes =
-        SamplePowerLawClusterSizes(config.clusters, rng);
-    if (!sizes.ok()) {
-      status = sizes.status();
-      block = scale_factor;  // exhausted
-      return;
-    }
-    cluster_sizes = std::move(sizes).value();
   }
 
   bool Next(StreamedRecord* out) {
-    while (block < scale_factor &&
-           entity_index >= cluster_sizes.size()) {
-      entity_id_offset += static_cast<int32_t>(cluster_sizes.size());
-      StartBlock(block + 1);
+    if (!cursor.NextSlot()) return false;
+    const bool canonical = cursor.new_entity();
+    if (canonical) {
+      current_entity = MakePaperEntity(cursor.rng(), title_sampler);
     }
-    if (block >= scale_factor) return false;
-    if (record_in_cluster == 0) {
-      current_entity = MakePaperEntity(rng, title_sampler);
-    }
-    const bool canonical = record_in_cluster == 0;
-    out->record = MakePaperRecord(current_entity, next_id, canonical, config,
-                                  corruptor, rng);
-    out->entity = entity_id_offset + static_cast<int32_t>(entity_index);
+    out->record = MakePaperRecord(current_entity, cursor.next_id(), canonical,
+                                  config, corruptor, cursor.rng());
+    out->entity = cursor.entity();
     out->side = 0;
-    ++next_id;
-    if (++record_in_cluster >= cluster_sizes[entity_index]) {
-      record_in_cluster = 0;
-      ++entity_index;
-    }
+    cursor.Advance();
     return true;
   }
 
   const PaperDatasetConfig config;
-  const int32_t scale_factor;
   StreamMeta meta;
-  Status status;
-  Rng rng;
-  Corruptor corruptor;  // reads `rng` through a stable pointer
+  BlockCursor cursor;
+  Corruptor corruptor;  // reads the cursor's rng through a stable pointer
   const ZipfSampler title_sampler;
-
-  std::vector<int32_t> cluster_sizes;  // current block's plan
-  int32_t block = 0;
-  size_t entity_index = 0;       // within the current block
-  int32_t record_in_cluster = 0;
-  int32_t entity_id_offset = 0;  // global id of the block's first entity
-  ObjectId next_id = 0;
   PaperEntity current_entity;
 };
 
@@ -359,9 +417,9 @@ bool StreamingPaperSource::Next(StreamedRecord* out) {
   return impl_->Next(out);
 }
 
-void StreamingPaperSource::Reset() { impl_->Restart(); }
+void StreamingPaperSource::Reset() { impl_->cursor.Restart(); }
 
-Status StreamingPaperSource::status() const { return impl_->status; }
+Status StreamingPaperSource::status() const { return impl_->cursor.status(); }
 
 // ---------------------------------------------------------------------------
 // StreamingProductSource
@@ -370,91 +428,45 @@ Status StreamingPaperSource::status() const { return impl_->status; }
 struct StreamingProductSource::Impl {
   Impl(const ProductDatasetConfig& config, int32_t scale_factor)
       : config(config),
-        scale_factor(scale_factor),
-        rng(config.seed),
-        corruptor(config.corruption, &rng) {
+        cursor(config.seed, scale_factor,
+               [this](Rng& rng) {
+                 return SampleSmallClusterSizes(this->config.clusters, rng);
+               }),
+        corruptor(config.corruption, &cursor.rng()) {
     meta.name = "product";
     meta.schema.field_names = {"name", "price"};
     meta.bipartite = true;
     meta.total_records =
         static_cast<int64_t>(scale_factor) * config.clusters.total_records;
-    Restart();
-  }
-
-  void Restart() {
-    status = Status::OK();
-    next_id = 0;
-    entity_id_offset = 0;
-    if (scale_factor < 1) {
-      status = Status::InvalidArgument("scale_factor must be >= 1");
-      block = scale_factor;
-      return;
-    }
-    StartBlock(0);
-  }
-
-  void StartBlock(int32_t b) {
-    block = b;
-    entity_index = 0;
-    record_in_cluster = 0;
-    if (block >= scale_factor) return;
-    rng = Rng(BlockSeed(config.seed, block));
-    Result<std::vector<int32_t>> sizes =
-        SampleSmallClusterSizes(config.clusters, rng);
-    if (!sizes.ok()) {
-      status = sizes.status();
-      block = scale_factor;
-      return;
-    }
-    cluster_sizes = std::move(sizes).value();
   }
 
   bool Next(StreamedRecord* out) {
-    while (block < scale_factor &&
-           entity_index >= cluster_sizes.size()) {
-      entity_id_offset += static_cast<int32_t>(cluster_sizes.size());
-      StartBlock(block + 1);
+    if (!cursor.NextSlot()) return false;
+    const int32_t r = cursor.record_in_cluster();
+    if (r == 0) {
+      current_entity = MakeProductEntity(cursor.rng());
     }
-    if (block >= scale_factor) return false;
-    if (record_in_cluster == 0) {
-      current_entity = MakeProductEntity(rng);
-    }
-    const int32_t size = cluster_sizes[entity_index];
-    const int32_t r = record_in_cluster;
     // Singleton clusters land on a random side; larger clusters alternate
     // so every multi-record entity spans both catalogs.
     uint8_t side = 0;
-    if (size == 1) {
-      side = rng.Bernoulli(0.5) ? 1 : 0;
+    if (cursor.cluster_size() == 1) {
+      side = cursor.rng().Bernoulli(0.5) ? 1 : 0;
     } else {
       side = static_cast<uint8_t>(r % 2);
     }
-    out->record = MakeProductRecord(current_entity, next_id, side,
+    out->record = MakeProductRecord(current_entity, cursor.next_id(), side,
                                     /*canonical=*/r == 0, config, corruptor,
-                                    rng);
-    out->entity = entity_id_offset + static_cast<int32_t>(entity_index);
+                                    cursor.rng());
+    out->entity = cursor.entity();
     out->side = side;
-    ++next_id;
-    if (++record_in_cluster >= size) {
-      record_in_cluster = 0;
-      ++entity_index;
-    }
+    cursor.Advance();
     return true;
   }
 
   const ProductDatasetConfig config;
-  const int32_t scale_factor;
   StreamMeta meta;
-  Status status;
-  Rng rng;
+  BlockCursor cursor;
   Corruptor corruptor;
-
-  std::vector<int32_t> cluster_sizes;
-  int32_t block = 0;
-  size_t entity_index = 0;
-  int32_t record_in_cluster = 0;
-  int32_t entity_id_offset = 0;
-  ObjectId next_id = 0;
   ProductEntity current_entity;
 };
 
@@ -470,8 +482,10 @@ bool StreamingProductSource::Next(StreamedRecord* out) {
   return impl_->Next(out);
 }
 
-void StreamingProductSource::Reset() { impl_->Restart(); }
+void StreamingProductSource::Reset() { impl_->cursor.Restart(); }
 
-Status StreamingProductSource::status() const { return impl_->status; }
+Status StreamingProductSource::status() const {
+  return impl_->cursor.status();
+}
 
 }  // namespace crowdjoin

@@ -39,4 +39,23 @@ QualityMetrics ComputeQuality(const CandidateSet& pairs,
   return metrics;
 }
 
+std::vector<Label> ExtractFinalLabels(const LabelingReport& report) {
+  std::vector<Label> labels;
+  labels.reserve(report.outcomes.size());
+  for (const std::optional<PairOutcome>& outcome : report.outcomes) {
+    labels.push_back(outcome.has_value() ? outcome->label
+                                         : Label::kNonMatching);
+  }
+  return labels;
+}
+
+std::vector<Label> ExtractFinalLabels(const LabelingResult& result) {
+  std::vector<Label> labels;
+  labels.reserve(result.outcomes.size());
+  for (const PairOutcome& outcome : result.outcomes) {
+    labels.push_back(outcome.label);
+  }
+  return labels;
+}
+
 }  // namespace crowdjoin

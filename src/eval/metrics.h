@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/candidate.h"
+#include "core/labeling_result.h"
 #include "core/oracle.h"
 #include "graph/label.h"
 
@@ -33,6 +34,14 @@ struct QualityMetrics {
 QualityMetrics ComputeQuality(const CandidateSet& pairs,
                               const std::vector<Label>& final_labels,
                               const GroundTruthOracle& truth);
+
+/// Final label per candidate position from a session report. Pairs a
+/// budget-capped run left unlabeled fall back to non-matching — the usual
+/// convention for budget sweeps (see `BudgetLabeler`).
+std::vector<Label> ExtractFinalLabels(const LabelingReport& report);
+
+/// Same, for the legacy result shape (every pair labeled by construction).
+std::vector<Label> ExtractFinalLabels(const LabelingResult& result);
 
 }  // namespace crowdjoin
 

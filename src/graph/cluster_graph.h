@@ -53,6 +53,12 @@ class ClusterGraph {
   /// Clears all labels and re-creates `num_objects` singleton clusters.
   void Reset(int32_t num_objects);
 
+  /// Grows the object space to `num_objects`, keeping every labeled pair:
+  /// new objects arrive as singleton clusters with no edges. No-op when the
+  /// graph already spans that many objects (streaming rounds call this as
+  /// each round widens the id range).
+  void EnsureObjects(int32_t num_objects) { union_find_.Grow(num_objects); }
+
   /// Decides the pair's label from the labeled pairs (Algorithm 1):
   ///  * same cluster                        -> kMatching
   ///  * different clusters w/ an edge       -> kNonMatching

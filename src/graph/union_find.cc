@@ -16,6 +16,15 @@ void UnionFind::Reset(int32_t n) {
   num_sets_ = n;
 }
 
+void UnionFind::Grow(int32_t n) {
+  const int32_t old_size = size();
+  if (n <= old_size) return;
+  parent_.resize(static_cast<size_t>(n));
+  std::iota(parent_.begin() + old_size, parent_.end(), old_size);
+  size_.resize(static_cast<size_t>(n), 1);
+  num_sets_ += n - old_size;
+}
+
 int32_t UnionFind::Find(int32_t x) {
   CJ_CHECK(x >= 0 && x < size());
   while (parent_[static_cast<size_t>(x)] != x) {

@@ -21,6 +21,11 @@ class UnionFind {
   /// Discards all sets and re-creates `n` singletons.
   void Reset(int32_t n);
 
+  /// Grows the universe to `n` elements by appending singletons, keeping
+  /// every existing set intact. No-op when `n <= size()`. This is what lets
+  /// streaming consumers widen the object space round by round.
+  void Grow(int32_t n);
+
   /// Returns the representative of `x`'s set; compresses paths (halving).
   int32_t Find(int32_t x);
 

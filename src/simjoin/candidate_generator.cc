@@ -27,6 +27,78 @@ std::vector<std::string> RecordTokens(const Record& record) {
   return WordTokens(all);
 }
 
+// One record stream tokenized and routed into a sharded joiner — the
+// ingest half shared by the materializing machine step and the
+// round-by-round feed, so side routing and id/entity bookkeeping exist
+// exactly once. Only the scorer path retains record text.
+struct IngestedStream {
+  RecordSet retained;               // stream order; empty without a scorer
+  std::vector<ObjectId> left_ids;   // record id by left/self local position
+  std::vector<ObjectId> right_ids;  // record id by right local position
+  std::vector<size_t> left_pos;     // stream position per side-local index,
+  std::vector<size_t> right_pos;    // for scoring against `retained`
+  std::vector<int32_t> entity_of;   // ground truth per stream position
+};
+
+// Only the joiner matching the source's shape is touched; the other
+// pointer may be null. `collect_entities` gates the ground-truth vector
+// (skipped when the caller has no use for it — the memory-lean path).
+Status IngestStreamIntoJoiner(RecordSource& source, bool retain_records,
+                              bool collect_entities,
+                              TokenDictionary& dictionary,
+                              ShardedSelfJoiner* self_joiner,
+                              ShardedBipartiteJoiner* bipartite_joiner,
+                              IngestedStream& out) {
+  const bool bipartite = source.meta().bipartite;
+  source.Reset();
+  dictionary.Reserve(static_cast<size_t>(source.meta().total_records));
+  if (collect_entities) {
+    out.entity_of.reserve(static_cast<size_t>(source.meta().total_records));
+  }
+  StreamedRecord streamed;
+  size_t stream_pos = 0;
+  while (source.Next(&streamed)) {
+    const std::vector<int32_t> doc =
+        dictionary.AddDocument(RecordTokens(streamed.record));
+    if (!bipartite || streamed.side == 0) {
+      if (bipartite) {
+        bipartite_joiner->AddLeft(doc);
+      } else {
+        self_joiner->Add(doc);
+      }
+      out.left_ids.push_back(streamed.record.id);
+      if (retain_records) out.left_pos.push_back(stream_pos);
+    } else {
+      bipartite_joiner->AddRight(doc);
+      out.right_ids.push_back(streamed.record.id);
+      if (retain_records) out.right_pos.push_back(stream_pos);
+    }
+    if (collect_entities) out.entity_of.push_back(streamed.entity);
+    if (retain_records) out.retained.push_back(std::move(streamed.record));
+    ++stream_pos;
+  }
+  return source.status();
+}
+
+// The emission half shared by both paths: maps one verified join pair
+// back to record ids, blends the (possibly re-scored) similarity into a
+// likelihood, applies the cut.
+void EmitCandidate(const ScoredPair& pair, bool bipartite,
+                   const std::vector<ObjectId>& left_ids,
+                   const std::vector<ObjectId>& right_ids, double similarity,
+                   const CandidateGeneratorOptions& options, Rng& noise_rng,
+                   CandidateSet& out) {
+  const auto left = static_cast<size_t>(pair.left);
+  const auto right = static_cast<size_t>(pair.right);
+  const ObjectId id_a = left_ids[left];
+  const ObjectId id_b = bipartite ? right_ids[right] : left_ids[right];
+  const double likelihood = NoisyLikelihood(
+      similarity, options.likelihood_noise_stddev, noise_rng);
+  if (likelihood >= options.min_likelihood) {
+    out.push_back({id_a, id_b, likelihood});
+  }
+}
+
 }  // namespace
 
 Result<CandidateSet> GenerateCandidates(
@@ -101,49 +173,18 @@ Result<CandidateSet> GenerateCandidatesStreaming(
     const ShardedJoinOptions& sharding,
     std::vector<int32_t>* entity_of_out) {
   const bool bipartite = source.meta().bipartite;
-  source.Reset();
-  if (entity_of_out != nullptr) {
-    entity_of_out->clear();
-    entity_of_out->reserve(static_cast<size_t>(source.meta().total_records));
-  }
-
   TokenDictionary dictionary;
-  dictionary.Reserve(static_cast<size_t>(source.meta().total_records));
   ShardedSelfJoiner self_joiner(sharding.num_shards);
   ShardedBipartiteJoiner bipartite_joiner(sharding.num_shards);
 
-  // Ingest: tokenize each record as it streams by and hand the token doc
-  // straight to the joiner. Per join-side position we keep the record id
-  // (candidates reference ids) and, only when a scorer needs the text back
-  // for the likelihood blend, the record itself.
-  RecordSet retained;               // stream order; empty without a scorer
-  std::vector<ObjectId> left_ids;   // ids by left/self side-local position
-  std::vector<ObjectId> right_ids;  // ids by right side-local position
-  std::vector<size_t> left_pos;     // stream position per side-local index,
-  std::vector<size_t> right_pos;    // for scoring against `retained`
-  StreamedRecord streamed;
-  size_t stream_pos = 0;
-  while (source.Next(&streamed)) {
-    const std::vector<int32_t> doc =
-        dictionary.AddDocument(RecordTokens(streamed.record));
-    if (!bipartite || streamed.side == 0) {
-      if (bipartite) {
-        bipartite_joiner.AddLeft(doc);
-      } else {
-        self_joiner.Add(doc);
-      }
-      left_ids.push_back(streamed.record.id);
-      if (scorer != nullptr) left_pos.push_back(stream_pos);
-    } else {
-      bipartite_joiner.AddRight(doc);
-      right_ids.push_back(streamed.record.id);
-      if (scorer != nullptr) right_pos.push_back(stream_pos);
-    }
-    if (entity_of_out != nullptr) entity_of_out->push_back(streamed.entity);
-    if (scorer != nullptr) retained.push_back(std::move(streamed.record));
-    ++stream_pos;
-  }
-  CJ_RETURN_IF_ERROR(source.status());
+  // Ingest via the shared helper; records are retained only when a scorer
+  // needs the text back for the likelihood blend.
+  IngestedStream ingest;
+  CJ_RETURN_IF_ERROR(IngestStreamIntoJoiner(
+      source, /*retain_records=*/scorer != nullptr,
+      /*collect_entities=*/entity_of_out != nullptr, dictionary,
+      &self_joiner, &bipartite_joiner, ingest));
+  if (entity_of_out != nullptr) *entity_of_out = std::move(ingest.entity_of);
 
   // Join across the worker pool.
   std::vector<ScoredPair> joined;
@@ -168,24 +209,108 @@ Result<CandidateSet> GenerateCandidatesStreaming(
   candidates.reserve(joined.size());
   Rng noise_rng(options.noise_seed);
   for (const ScoredPair& pair : joined) {
-    const auto left = static_cast<size_t>(pair.left);
-    const auto right = static_cast<size_t>(pair.right);
-    const ObjectId id_a = left_ids[left];
-    const ObjectId id_b = bipartite ? right_ids[right] : left_ids[right];
     double similarity = pair.score;
     if (scorer != nullptr) {
-      const Record& ra = retained[left_pos[left]];
+      const auto left = static_cast<size_t>(pair.left);
+      const auto right = static_cast<size_t>(pair.right);
+      const Record& ra = ingest.retained[ingest.left_pos[left]];
       const Record& rb =
-          retained[bipartite ? right_pos[right] : left_pos[right]];
+          ingest.retained[bipartite ? ingest.right_pos[right]
+                                    : ingest.left_pos[right]];
       CJ_ASSIGN_OR_RETURN(similarity, scorer->Score(ra, rb));
     }
-    const double likelihood = NoisyLikelihood(
-        similarity, options.likelihood_noise_stddev, noise_rng);
-    if (likelihood >= options.min_likelihood) {
-      candidates.push_back({id_a, id_b, likelihood});
-    }
+    EmitCandidate(pair, bipartite, ingest.left_ids, ingest.right_ids,
+                  similarity, options, noise_rng, candidates);
   }
   return candidates;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingCandidateFeed
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int64_t kDefaultTasksPerRound = 8;
+}  // namespace
+
+StreamingCandidateFeed::StreamingCandidateFeed(const Options& options,
+                                               bool bipartite)
+    : options_(options),
+      bipartite_(bipartite),
+      tasks_per_round_(options.tasks_per_round > 0 ? options.tasks_per_round
+                                                   : kDefaultTasksPerRound),
+      pool_(options.sharding.num_threads > 0 ? options.sharding.num_threads
+                                             : 0),
+      noise_rng_(options.candidates.noise_seed) {
+  if (bipartite) {
+    bipartite_joiner_ =
+        std::make_unique<ShardedBipartiteJoiner>(options.sharding.num_shards);
+  } else {
+    self_joiner_ =
+        std::make_unique<ShardedSelfJoiner>(options.sharding.num_shards);
+  }
+}
+
+StreamingCandidateFeed::~StreamingCandidateFeed() = default;
+
+Result<std::unique_ptr<StreamingCandidateFeed>> StreamingCandidateFeed::Open(
+    RecordSource& source, const Options& options) {
+  const bool bipartite = source.meta().bipartite;
+  // make_unique cannot reach the private constructor.
+  std::unique_ptr<StreamingCandidateFeed> feed(
+      new StreamingCandidateFeed(options, bipartite));
+
+  // Shared ingest, scorer-free: nothing but token docs and ids is
+  // retained. (Only the joiner matching the source's shape exists here;
+  // the helper never touches the other side.)
+  IngestedStream ingest;
+  CJ_RETURN_IF_ERROR(IngestStreamIntoJoiner(
+      source, /*retain_records=*/false, /*collect_entities=*/true,
+      feed->dictionary_, feed->self_joiner_.get(),
+      feed->bipartite_joiner_.get(), ingest));
+  feed->left_ids_ = std::move(ingest.left_ids);
+  feed->right_ids_ = std::move(ingest.right_ids);
+  feed->entity_of_ = std::move(ingest.entity_of);
+
+  // Prepare the join (phase 1) and park the task cursor.
+  ThreadPool* pool = feed->pool_.num_threads() > 0 ? &feed->pool_ : nullptr;
+  const double threshold = options.candidates.token_join_threshold;
+  if (bipartite) {
+    CJ_ASSIGN_OR_RETURN(
+        ShardedJoinCursor cursor,
+        feed->bipartite_joiner_->MakeCursor(feed->dictionary_, threshold,
+                                            pool));
+    feed->cursor_.emplace(std::move(cursor));
+  } else {
+    CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
+                        feed->self_joiner_->MakeCursor(feed->dictionary_,
+                                                       threshold, pool));
+    feed->cursor_.emplace(std::move(cursor));
+  }
+  return feed;
+}
+
+Result<CandidateSet> StreamingCandidateFeed::NextRound() {
+  ThreadPool* pool = pool_.num_threads() > 0 ? &pool_ : nullptr;
+  CandidateSet round;
+  // A task batch can come back empty (or die entirely at the likelihood
+  // cut); keep draining so an empty return always means end-of-stream.
+  while (round.empty() && !cursor_->done()) {
+    CJ_ASSIGN_OR_RETURN(const std::vector<ScoredPair> joined,
+                        cursor_->NextBatch(tasks_per_round_, pool));
+    round.reserve(joined.size());
+    for (const ScoredPair& pair : joined) {
+      EmitCandidate(pair, bipartite_, left_ids_, right_ids_, pair.score,
+                    options_.candidates, noise_rng_, round);
+    }
+  }
+  if (!round.empty()) {
+    ++num_rounds_;
+    num_candidates_ += static_cast<int64_t>(round.size());
+    max_round_size_ =
+        std::max(max_round_size_, static_cast<int64_t>(round.size()));
+  }
+  return round;
 }
 
 }  // namespace crowdjoin

@@ -2,12 +2,17 @@
 #define CROWDJOIN_SIMJOIN_CANDIDATE_GENERATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "core/candidate.h"
+#include "core/labeling_session.h"
 #include "datagen/record_source.h"
 #include "simjoin/sharded_join.h"
+#include "simjoin/token_dictionary.h"
 #include "text/record.h"
 #include "text/record_similarity.h"
 
@@ -72,6 +77,75 @@ Result<CandidateSet> GenerateCandidatesStreaming(
     const CandidateGeneratorOptions& options,
     const ShardedJoinOptions& sharding,
     std::vector<int32_t>* entity_of_out = nullptr);
+
+/// \brief `CandidateStream` over a `RecordSource`: the machine step's
+/// sharded join drained probe-task batch by probe-task batch, so candidate
+/// pairs flow into a `LabelingSession::RunStream` round by round and the
+/// full candidate set is **never materialized** — peak candidate memory is
+/// one round (the output of `tasks_per_round` probe tasks).
+///
+/// This is the scorer-free memory-lean path: likelihoods are the join's
+/// token-Jaccard scores, optionally noised in emission order (which, unlike
+/// the batch path's global order, depends on the round partition — only the
+/// zero-noise configuration is partition-independent). No record text is
+/// retained; ground truth is captured from the stream during `Open`.
+class StreamingCandidateFeed : public CandidateStream {
+ public:
+  struct Options {
+    /// Join threshold, likelihood cut, and noise knobs. (`min_likelihood`
+    /// and the noise stream apply per emitted round.)
+    CandidateGeneratorOptions candidates;
+    /// Shard count and worker threads (the feed owns the pool).
+    ShardedJoinOptions sharding;
+    /// Probe tasks drained per `NextRound`; <= 0 picks 8. Smaller rounds
+    /// mean a tighter memory bound and more deduction carry-over between
+    /// rounds; larger rounds mean fewer, bigger crowd batches.
+    int64_t tasks_per_round = 0;
+  };
+
+  /// Ingests `source` (tokenize + shard, no record retention) and prepares
+  /// the sharded join. The feed is ready to stream rounds afterwards.
+  static Result<std::unique_ptr<StreamingCandidateFeed>> Open(
+      RecordSource& source, const Options& options);
+
+  ~StreamingCandidateFeed() override;
+
+  /// The next non-empty round of candidates; empty when every probe task
+  /// has been drained. Pair ids are `Record::id`s, as everywhere.
+  Result<CandidateSet> NextRound() override;
+
+  /// Ground-truth entity per streamed record position (for oracles).
+  const std::vector<int32_t>& entity_of() const { return entity_of_; }
+  int64_t num_records() const {
+    return static_cast<int64_t>(entity_of_.size());
+  }
+  /// Candidates emitted so far.
+  int64_t num_candidates() const { return num_candidates_; }
+  /// Rounds emitted so far.
+  int64_t num_rounds() const { return num_rounds_; }
+  /// Largest round emitted so far — the peak candidate-buffer bound.
+  int64_t max_round_size() const { return max_round_size_; }
+
+ private:
+  StreamingCandidateFeed(const Options& options, bool bipartite);
+
+  Options options_;
+  bool bipartite_;
+  int64_t tasks_per_round_;
+  TokenDictionary dictionary_;
+  // Joiners are stable on the heap: the cursor points into them.
+  std::unique_ptr<ShardedSelfJoiner> self_joiner_;
+  std::unique_ptr<ShardedBipartiteJoiner> bipartite_joiner_;
+  ThreadPool pool_;
+  std::optional<ShardedJoinCursor> cursor_;
+  std::vector<ObjectId> left_ids_;   // record id by left/self local position
+  std::vector<ObjectId> right_ids_;  // record id by right local position
+  std::vector<int32_t> entity_of_;
+  Rng noise_rng_;
+  int64_t num_candidates_ = 0;
+  int64_t num_rounds_ = 0;
+  int64_t max_round_size_ = 0;
+};
 
 }  // namespace crowdjoin
 

@@ -161,10 +161,69 @@ void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
 }
 
 // ---------------------------------------------------------------------------
+// Incremental probe-task cursor
+// ---------------------------------------------------------------------------
+
+struct ShardedJoinCursor::Impl {
+  double threshold = 0.0;
+  bool bipartite = false;
+  // Self-join: both sides point at the same joiner/prepared set.
+  const ShardedSelfJoiner* target_joiner = nullptr;
+  const ShardedSelfJoiner* probe_joiner = nullptr;
+  std::vector<ShardedSelfJoiner::Prepared> target_prepared;
+  std::vector<ShardedSelfJoiner::Prepared> probe_prepared;  // bipartite only
+  // Fixed task order, identical to the one-shot drivers'.
+  std::vector<std::pair<int32_t, int32_t>> tasks;
+  int64_t next_task = 0;
+};
+
+ShardedJoinCursor::ShardedJoinCursor(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ShardedJoinCursor::~ShardedJoinCursor() = default;
+ShardedJoinCursor::ShardedJoinCursor(ShardedJoinCursor&&) noexcept = default;
+ShardedJoinCursor& ShardedJoinCursor::operator=(ShardedJoinCursor&&) noexcept =
+    default;
+
+int64_t ShardedJoinCursor::num_tasks() const {
+  return static_cast<int64_t>(impl_->tasks.size());
+}
+
+int64_t ShardedJoinCursor::tasks_done() const { return impl_->next_task; }
+
+Result<std::vector<ScoredPair>> ShardedJoinCursor::NextBatch(
+    int64_t max_tasks, ThreadPool* pool) {
+  if (max_tasks < 1) {
+    return Status::InvalidArgument("max_tasks must be >= 1");
+  }
+  Impl& impl = *impl_;
+  const int64_t begin = impl.next_task;
+  const int64_t end =
+      std::min(num_tasks(), begin + max_tasks);
+  impl.next_task = end;
+  std::vector<std::vector<ScoredPair>> per_task =
+      ParallelMap(pool, end - begin, [&](int64_t i) {
+        const auto [a, b] = impl.tasks[static_cast<size_t>(begin + i)];
+        const auto& probe_prepared =
+            impl.bipartite ? impl.probe_prepared : impl.target_prepared;
+        std::vector<ScoredPair> out;
+        ShardedSelfJoiner::ProbeTask(
+            impl.target_joiner->shards_[static_cast<size_t>(a)],
+            impl.target_prepared[static_cast<size_t>(a)],
+            impl.probe_joiner->shards_[static_cast<size_t>(b)],
+            probe_prepared[static_cast<size_t>(b)],
+            /*same_shard=*/!impl.bipartite && a == b,
+            /*bipartite_emit=*/impl.bipartite, impl.threshold, out);
+        return out;
+      });
+  return MergeTaskOutputs(std::move(per_task));
+}
+
+// ---------------------------------------------------------------------------
 // Self-join driver
 // ---------------------------------------------------------------------------
 
-Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
+Result<ShardedJoinCursor> ShardedSelfJoiner::MakeCursor(
     const TokenDictionary& dictionary, double threshold,
     ThreadPool* pool) const {
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
@@ -174,33 +233,32 @@ Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
   // with every per-shard preparation task.
   const std::vector<int32_t> ranks = dictionary.RarityRanks();
 
+  auto impl = std::make_unique<ShardedJoinCursor::Impl>();
+  impl->threshold = threshold;
+  impl->bipartite = false;
+  impl->target_joiner = this;
+  impl->probe_joiner = this;
   // Phase 1: every shard's rank order + prefix postings, in parallel.
-  std::vector<Prepared> prepared =
-      ParallelMap(pool, num_shards, [&](int64_t s) {
-        return Prepare(shards_[static_cast<size_t>(s)], ranks, threshold,
-                       /*build_index=*/true);
-      });
-
-  // Phase 2: one task per unordered shard pairing (a <= b): probe shard
-  // b's documents against shard a's prefix index.
-  std::vector<std::pair<int32_t, int32_t>> tasks;
-  tasks.reserve(static_cast<size_t>(num_shards * (num_shards + 1) / 2));
+  impl->target_prepared = ParallelMap(pool, num_shards, [&](int64_t s) {
+    return Prepare(shards_[static_cast<size_t>(s)], ranks, threshold,
+                   /*build_index=*/true);
+  });
+  // Phase 2's plan: one task per unordered shard pairing (a <= b): probe
+  // shard b's documents against shard a's prefix index.
+  impl->tasks.reserve(static_cast<size_t>(num_shards * (num_shards + 1) / 2));
   for (int32_t a = 0; a < num_shards; ++a) {
-    for (int32_t b = a; b < num_shards; ++b) tasks.push_back({a, b});
+    for (int32_t b = a; b < num_shards; ++b) impl->tasks.push_back({a, b});
   }
-  std::vector<std::vector<ScoredPair>> per_task = ParallelMap(
-      pool, static_cast<int64_t>(tasks.size()), [&](int64_t ti) {
-        const auto [a, b] = tasks[static_cast<size_t>(ti)];
-        std::vector<ScoredPair> out;
-        ProbeTask(shards_[static_cast<size_t>(a)],
-                  prepared[static_cast<size_t>(a)],
-                  shards_[static_cast<size_t>(b)],
-                  prepared[static_cast<size_t>(b)],
-                  /*same_shard=*/a == b, /*bipartite_emit=*/false, threshold,
-                  out);
-        return out;
-      });
-  return MergeTaskOutputs(std::move(per_task));
+  return ShardedJoinCursor(std::move(impl));
+}
+
+Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
+                      MakeCursor(dictionary, threshold, pool));
+  // Draining every task in one batch is exactly the one-shot join.
+  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +276,7 @@ void ShardedBipartiteJoiner::AddRight(const std::vector<int32_t>& doc) {
   right_.Add(doc);
 }
 
-Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
+Result<ShardedJoinCursor> ShardedBipartiteJoiner::MakeCursor(
     const TokenDictionary& dictionary, double threshold,
     ThreadPool* pool) const {
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
@@ -227,34 +285,37 @@ Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
 
   const std::vector<int32_t> ranks = dictionary.RarityRanks();
 
+  auto impl = std::make_unique<ShardedJoinCursor::Impl>();
+  impl->threshold = threshold;
+  impl->bipartite = true;
+  impl->target_joiner = &left_;
+  impl->probe_joiner = &right_;
   // Left shards carry the index; right shards only need prefixes.
-  std::vector<ShardedSelfJoiner::Prepared> left_prepared =
-      ParallelMap(pool, left_shards, [&](int64_t s) {
-        return ShardedSelfJoiner::Prepare(
-            left_.shards_[static_cast<size_t>(s)], ranks, threshold,
-            /*build_index=*/true);
-      });
-  std::vector<ShardedSelfJoiner::Prepared> right_prepared =
-      ParallelMap(pool, right_shards, [&](int64_t s) {
-        return ShardedSelfJoiner::Prepare(
-            right_.shards_[static_cast<size_t>(s)], ranks, threshold,
-            /*build_index=*/false);
-      });
+  impl->target_prepared = ParallelMap(pool, left_shards, [&](int64_t s) {
+    return ShardedSelfJoiner::Prepare(left_.shards_[static_cast<size_t>(s)],
+                                      ranks, threshold,
+                                      /*build_index=*/true);
+  });
+  impl->probe_prepared = ParallelMap(pool, right_shards, [&](int64_t s) {
+    return ShardedSelfJoiner::Prepare(right_.shards_[static_cast<size_t>(s)],
+                                      ranks, threshold,
+                                      /*build_index=*/false);
+  });
 
   // One task per left-shard x right-shard pairing.
-  const int64_t num_tasks = left_shards * right_shards;
-  std::vector<std::vector<ScoredPair>> per_task =
-      ParallelMap(pool, num_tasks, [&](int64_t ti) {
-        const auto a = static_cast<size_t>(ti / right_shards);
-        const auto b = static_cast<size_t>(ti % right_shards);
-        std::vector<ScoredPair> out;
-        ShardedSelfJoiner::ProbeTask(
-            left_.shards_[a], left_prepared[a], right_.shards_[b],
-            right_prepared[b], /*same_shard=*/false, /*bipartite_emit=*/true,
-            threshold, out);
-        return out;
-      });
-  return MergeTaskOutputs(std::move(per_task));
+  impl->tasks.reserve(static_cast<size_t>(left_shards * right_shards));
+  for (int32_t a = 0; a < left_shards; ++a) {
+    for (int32_t b = 0; b < right_shards; ++b) impl->tasks.push_back({a, b});
+  }
+  return ShardedJoinCursor(std::move(impl));
+}
+
+Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
+                      MakeCursor(dictionary, threshold, pool));
+  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
 }
 
 // ---------------------------------------------------------------------------

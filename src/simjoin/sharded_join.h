@@ -2,6 +2,7 @@
 #define CROWDJOIN_SIMJOIN_SHARDED_JOIN_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +11,8 @@
 #include "simjoin/token_dictionary.h"
 
 namespace crowdjoin {
+
+class ShardedJoinCursor;
 
 /// Knobs of the sharded parallel join.
 struct ShardedJoinOptions {
@@ -62,8 +65,18 @@ class ShardedSelfJoiner {
                                          double threshold,
                                          ThreadPool* pool) const;
 
+  /// Prepares the join (phase 1, fanned across `pool`) and returns a
+  /// cursor that drains the shard-vs-shard probe tasks incrementally —
+  /// the round-by-round feed of the streaming labeling path. The joiner
+  /// and dictionary must outlive the cursor; `Finish` is equivalent to
+  /// draining a fresh cursor in one batch.
+  Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       double threshold,
+                                       ThreadPool* pool) const;
+
  private:
   friend class ShardedBipartiteJoiner;
+  friend class ShardedJoinCursor;
 
   /// Flat arena of one shard's documents.
   struct Shard {
@@ -112,9 +125,53 @@ class ShardedBipartiteJoiner {
                                          double threshold,
                                          ThreadPool* pool) const;
 
+  /// Bipartite counterpart of `ShardedSelfJoiner::MakeCursor`.
+  Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       double threshold,
+                                       ThreadPool* pool) const;
+
  private:
+  friend class ShardedJoinCursor;
+
   ShardedSelfJoiner left_;
   ShardedSelfJoiner right_;
+};
+
+/// \brief Incremental driver over a prepared sharded join: instead of one
+/// `Finish` call producing every qualifying pair at once, the probe tasks
+/// are drained in caller-sized batches, so the join's output can feed a
+/// labeling session round by round without the full result ever being
+/// materialized (peak pair memory = one batch).
+///
+/// Determinism: tasks run in the same fixed order `Finish` uses and each
+/// batch is (left, right)-sorted, so the concatenation of all batches is a
+/// deterministic partition of exactly the pair set `Finish` returns — for
+/// every shard count, thread count, and batch size.
+class ShardedJoinCursor {
+ public:
+  ~ShardedJoinCursor();
+  ShardedJoinCursor(ShardedJoinCursor&&) noexcept;
+  ShardedJoinCursor& operator=(ShardedJoinCursor&&) noexcept;
+
+  /// Total probe tasks (self-join: S*(S+1)/2; bipartite: S_left*S_right).
+  int64_t num_tasks() const;
+  /// Tasks already drained.
+  int64_t tasks_done() const;
+  bool done() const { return tasks_done() >= num_tasks(); }
+
+  /// Runs the next `min(max_tasks, remaining)` probe tasks across `pool`
+  /// (nullptr = inline) and returns their merged, sorted output. Empty
+  /// once `done()`. `max_tasks` must be >= 1.
+  Result<std::vector<ScoredPair>> NextBatch(int64_t max_tasks,
+                                            ThreadPool* pool);
+
+ private:
+  friend class ShardedSelfJoiner;
+  friend class ShardedBipartiteJoiner;
+
+  struct Impl;
+  explicit ShardedJoinCursor(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Convenience wrapper: sharded self-join over an in-memory corpus. Owns a

@@ -1,0 +1,516 @@
+// The session equivalence suite: LabelingSession must reproduce the five
+// legacy labeling engines **byte for byte** at every (schedule, deduction,
+// stop) policy combination, thread count, order kind, and conflict policy.
+//
+// The references below are verbatim ports of the pre-session engine
+// implementations (SequentialLabeler, ParallelLabeler, BudgetLabeler,
+// OneToOneLabeler, InstantDecisionEngine as of the seed), kept here as the
+// frozen ground truth; the production classes are now thin wrappers over
+// the session, so comparing against *them* would be circular.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <numeric>
+#include <optional>
+
+#include "core/budget_labeler.h"
+#include "core/instant_decision.h"
+#include "core/labeling_order.h"
+#include "core/labeling_session.h"
+#include "core/one_to_one_labeler.h"
+#include "core/parallel_labeler.h"
+#include "core/sequential_labeler.h"
+#include "tests/core/test_fixtures.h"
+
+namespace crowdjoin {
+namespace {
+
+using testing_fixtures::Figure3Pairs;
+using testing_fixtures::Figure3Truth;
+using testing_fixtures::MakeRandomInstance;
+using testing_fixtures::RandomInstance;
+
+std::vector<int32_t> IdentityOrder(size_t n) {
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+// --- Frozen reference implementations (seed code, verbatim) ---------------
+
+LabelingResult ReferenceSequential(const CandidateSet& pairs,
+                                   const std::vector<int32_t>& order,
+                                   LabelOracle& oracle,
+                                   ConflictPolicy policy) {
+  LabelingResult result;
+  result.outcomes.resize(pairs.size());
+  ClusterGraph graph(NumObjectsSpanned(pairs), policy);
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    PairOutcome& outcome = result.outcomes[static_cast<size_t>(pos)];
+    if (deduction == Deduction::kUndeduced) {
+      outcome.label = oracle.GetLabel(pair.a, pair.b);
+      outcome.source = LabelSource::kCrowdsourced;
+      ++result.num_crowdsourced;
+      result.crowdsourced_per_iteration.push_back(1);
+      graph.Add(pair.a, pair.b, outcome.label);
+    } else {
+      outcome.label = DeductionToLabel(deduction);
+      outcome.source = LabelSource::kDeduced;
+      ++result.num_deduced;
+    }
+  }
+  result.num_conflicts = graph.num_conflicts();
+  return result;
+}
+
+LabelingResult ReferenceRoundParallel(const CandidateSet& pairs,
+                                      const std::vector<int32_t>& order,
+                                      LabelOracle& oracle,
+                                      ConflictPolicy policy) {
+  LabelingResult result;
+  result.outcomes.resize(pairs.size());
+  std::vector<std::optional<Label>> labels(pairs.size());
+  size_t num_labeled = 0;
+  while (num_labeled < pairs.size()) {
+    const std::vector<int32_t> batch = ParallelCrowdsourcedPairs(
+        pairs, order, labels, /*exclude_from_output=*/nullptr, policy);
+    EXPECT_FALSE(batch.empty());
+    if (batch.empty()) break;
+    for (int32_t pos : batch) {
+      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+      const Label label = oracle.GetLabel(pair.a, pair.b);
+      labels[static_cast<size_t>(pos)] = label;
+      result.outcomes[static_cast<size_t>(pos)] = {
+          label, LabelSource::kCrowdsourced};
+      ++result.num_crowdsourced;
+      ++num_labeled;
+    }
+    result.crowdsourced_per_iteration.push_back(
+        static_cast<int64_t>(batch.size()));
+    ClusterGraph graph(NumObjectsSpanned(pairs), policy);
+    for (int32_t pos : order) {
+      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+      auto& label = labels[static_cast<size_t>(pos)];
+      if (label.has_value()) {
+        graph.Add(pair.a, pair.b, *label);
+        continue;
+      }
+      const Deduction deduction = graph.Deduce(pair.a, pair.b);
+      if (deduction != Deduction::kUndeduced) {
+        label = DeductionToLabel(deduction);
+        result.outcomes[static_cast<size_t>(pos)] = {*label,
+                                                     LabelSource::kDeduced};
+        ++result.num_deduced;
+        ++num_labeled;
+      }
+    }
+    result.num_conflicts = graph.num_conflicts();
+  }
+  return result;
+}
+
+struct ReferenceBudgetResult {
+  std::vector<std::optional<PairOutcome>> outcomes;
+  int64_t num_crowdsourced = 0;
+  int64_t num_deduced = 0;
+  int64_t num_unlabeled = 0;
+};
+
+ReferenceBudgetResult ReferenceBudget(const CandidateSet& pairs,
+                                      const std::vector<int32_t>& order,
+                                      int64_t budget, LabelOracle& oracle) {
+  ReferenceBudgetResult result;
+  result.outcomes.resize(pairs.size());
+  ClusterGraph graph(NumObjectsSpanned(pairs));
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    auto& outcome = result.outcomes[static_cast<size_t>(pos)];
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    if (deduction != Deduction::kUndeduced) {
+      outcome = PairOutcome{DeductionToLabel(deduction),
+                            LabelSource::kDeduced};
+      ++result.num_deduced;
+      continue;
+    }
+    if (result.num_crowdsourced >= budget) {
+      ++result.num_unlabeled;
+      continue;
+    }
+    const Label label = oracle.GetLabel(pair.a, pair.b);
+    outcome = PairOutcome{label, LabelSource::kCrowdsourced};
+    ++result.num_crowdsourced;
+    graph.Add(pair.a, pair.b, label);
+  }
+  return result;
+}
+
+struct ReferenceOneToOneResult {
+  LabelingResult labeling;
+  int64_t num_one_to_one_deduced = 0;
+  int64_t num_exclusivity_violations = 0;
+};
+
+ReferenceOneToOneResult ReferenceOneToOne(const CandidateSet& pairs,
+                                          const std::vector<int32_t>& order,
+                                          LabelOracle& oracle) {
+  ReferenceOneToOneResult result;
+  result.labeling.outcomes.resize(pairs.size());
+  const int32_t num_objects = NumObjectsSpanned(pairs);
+  ClusterGraph graph(num_objects);
+  std::vector<bool> matched(static_cast<size_t>(num_objects), false);
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    PairOutcome& outcome = result.labeling.outcomes[static_cast<size_t>(pos)];
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    if (deduction != Deduction::kUndeduced) {
+      outcome.label = DeductionToLabel(deduction);
+      outcome.source = LabelSource::kDeduced;
+      ++result.labeling.num_deduced;
+      continue;
+    }
+    if (matched[static_cast<size_t>(pair.a)] ||
+        matched[static_cast<size_t>(pair.b)]) {
+      outcome.label = Label::kNonMatching;
+      outcome.source = LabelSource::kDeduced;
+      ++result.labeling.num_deduced;
+      ++result.num_one_to_one_deduced;
+      graph.Add(pair.a, pair.b, Label::kNonMatching);
+      continue;
+    }
+    outcome.label = oracle.GetLabel(pair.a, pair.b);
+    outcome.source = LabelSource::kCrowdsourced;
+    ++result.labeling.num_crowdsourced;
+    result.labeling.crowdsourced_per_iteration.push_back(1);
+    graph.Add(pair.a, pair.b, outcome.label);
+    if (outcome.label == Label::kMatching) {
+      if (matched[static_cast<size_t>(pair.a)] ||
+          matched[static_cast<size_t>(pair.b)]) {
+        ++result.num_exclusivity_violations;
+      }
+      matched[static_cast<size_t>(pair.a)] = true;
+      matched[static_cast<size_t>(pair.b)] = true;
+    }
+  }
+  return result;
+}
+
+// The legacy InstantDecisionEngine, driven synchronously FIFO (the
+// publication order RunNonParallelAmt bills for).
+LabelingResult ReferenceInstantFifo(const CandidateSet& pairs,
+                                    const std::vector<int32_t>& order,
+                                    LabelOracle& oracle,
+                                    ConflictPolicy policy) {
+  std::vector<std::optional<Label>> labels(pairs.size());
+  std::vector<bool> published(pairs.size(), false);
+  int64_t num_crowdsourced = 0;
+  const auto scan = [&]() {
+    std::vector<int32_t> fresh = ParallelCrowdsourcedPairs(
+        pairs, order, labels, &published, policy);
+    for (int32_t pos : fresh) published[static_cast<size_t>(pos)] = true;
+    return fresh;
+  };
+  std::deque<int32_t> pending;
+  {
+    const std::vector<int32_t> initial = scan();
+    pending.insert(pending.end(), initial.begin(), initial.end());
+  }
+  while (!pending.empty()) {
+    const int32_t pos = pending.front();
+    pending.pop_front();
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    const Label label = oracle.GetLabel(pair.a, pair.b);
+    labels[static_cast<size_t>(pos)] = label;
+    ++num_crowdsourced;
+    if (label != Label::kMatching) {
+      const std::vector<int32_t> fresh = scan();
+      pending.insert(pending.end(), fresh.begin(), fresh.end());
+    }
+  }
+  LabelingResult result;
+  result.outcomes.resize(pairs.size());
+  result.num_crowdsourced = num_crowdsourced;
+  ClusterGraph graph(NumObjectsSpanned(pairs), policy);
+  for (int32_t pos : order) {
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    auto& label = labels[static_cast<size_t>(pos)];
+    auto& outcome = result.outcomes[static_cast<size_t>(pos)];
+    if (label.has_value()) {
+      outcome = {*label, LabelSource::kCrowdsourced};
+      graph.Add(pair.a, pair.b, *label);
+      continue;
+    }
+    const Deduction deduction = graph.Deduce(pair.a, pair.b);
+    EXPECT_NE(deduction, Deduction::kUndeduced);
+    label = DeductionToLabel(deduction);
+    outcome = {*label, LabelSource::kDeduced};
+    ++result.num_deduced;
+  }
+  result.num_conflicts = graph.num_conflicts();
+  return result;
+}
+
+// --- The matrix -----------------------------------------------------------
+
+struct OracleFactory {
+  const GroundTruthOracle* truth;
+  double error_rate;
+  uint64_t seed;
+
+  // Batch-safe fresh oracle per run: identical answer streams for the
+  // session and the reference.
+  std::unique_ptr<LabelOracle> Make() const {
+    if (error_rate == 0.0) {
+      return std::make_unique<GroundTruthOracle>(*truth);
+    }
+    return std::make_unique<HashNoisyOracle>(truth, error_rate, error_rate,
+                                             seed);
+  }
+};
+
+std::vector<std::vector<int32_t>> OrdersFor(const CandidateSet& pairs,
+                                            const GroundTruthOracle& truth,
+                                            uint64_t seed) {
+  std::vector<std::vector<int32_t>> orders;
+  orders.push_back(IdentityOrder(pairs.size()));
+  for (OrderKind kind : {OrderKind::kOptimal, OrderKind::kExpected,
+                         OrderKind::kRandom, OrderKind::kWorst}) {
+    Rng rng(seed ^ 0xfeed);
+    orders.push_back(MakeLabelingOrder(pairs, kind, &truth, &rng).value());
+  }
+  return orders;
+}
+
+class SessionEquivalence : public ::testing::Test {
+ protected:
+  // Figure 3 plus random instances of varied density and cluster shape.
+  std::vector<RandomInstance> Instances() {
+    std::vector<RandomInstance> instances;
+    instances.push_back({Figure3Pairs(), {0, 0, 0, 1, 1, 2}});
+    instances.push_back(MakeRandomInstance(101, 25, 5, 90));
+    instances.push_back(MakeRandomInstance(102, 40, 12, 150));
+    instances.push_back(MakeRandomInstance(103, 12, 2, 50));
+    return instances;
+  }
+};
+
+TEST_F(SessionEquivalence, SequentialScheduleMatchesReference) {
+  for (const RandomInstance& instance : Instances()) {
+    GroundTruthOracle truth(instance.entity_of);
+    for (const auto& order : OrdersFor(instance.pairs, truth, 5)) {
+      for (ConflictPolicy policy :
+           {ConflictPolicy::kKeepFirst, ConflictPolicy::kTrustNew}) {
+        for (double error_rate : {0.0, 0.25}) {
+          const OracleFactory oracles{&truth, error_rate, 17};
+          auto ref_oracle = oracles.Make();
+          const LabelingResult expected = ReferenceSequential(
+              instance.pairs, order, *ref_oracle, policy);
+
+          LabelingSessionOptions options;
+          options.conflict_policy = policy;
+          LabelingSession session(options);
+          auto oracle = oracles.Make();
+          const LabelingResult actual =
+              session.Run(instance.pairs, order, *oracle)
+                  .value()
+                  .ToLabelingResult();
+          ASSERT_TRUE(actual == expected)
+              << "policy=" << static_cast<int>(policy)
+              << " error_rate=" << error_rate;
+          EXPECT_EQ(oracle->num_queries(), ref_oracle->num_queries());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SessionEquivalence, RoundParallelScheduleMatchesReference) {
+  for (const RandomInstance& instance : Instances()) {
+    GroundTruthOracle truth(instance.entity_of);
+    for (const auto& order : OrdersFor(instance.pairs, truth, 6)) {
+      for (ConflictPolicy policy :
+           {ConflictPolicy::kKeepFirst, ConflictPolicy::kTrustNew}) {
+        for (double error_rate : {0.0, 0.25}) {
+          const OracleFactory oracles{&truth, error_rate, 19};
+          auto ref_oracle = oracles.Make();
+          const LabelingResult expected = ReferenceRoundParallel(
+              instance.pairs, order, *ref_oracle, policy);
+          for (int threads : {1, 2, 4, 8}) {
+            LabelingSessionOptions options;
+            options.schedule = SchedulePolicy::kRoundParallel;
+            options.conflict_policy = policy;
+            options.num_threads = threads;
+            LabelingSession session(options);
+            auto oracle = oracles.Make();
+            const LabelingResult actual =
+                session.Run(instance.pairs, order, *oracle)
+                    .value()
+                    .ToLabelingResult();
+            ASSERT_TRUE(actual == expected)
+                << "threads=" << threads
+                << " policy=" << static_cast<int>(policy)
+                << " error_rate=" << error_rate;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SessionEquivalence, BudgetStopMatchesReference) {
+  for (const RandomInstance& instance : Instances()) {
+    GroundTruthOracle truth(instance.entity_of);
+    for (const auto& order : OrdersFor(instance.pairs, truth, 7)) {
+      for (int64_t budget : {0, 1, 7, 40, 10000}) {
+        const OracleFactory oracles{&truth, 0.0, 0};
+        auto ref_oracle = oracles.Make();
+        const ReferenceBudgetResult expected =
+            ReferenceBudget(instance.pairs, order, budget, *ref_oracle);
+
+        LabelingSessionOptions options;
+        options.stop = StopPolicy::Budget(budget);
+        LabelingSession session(options);
+        auto oracle = oracles.Make();
+        const LabelingReport actual =
+            session.Run(instance.pairs, order, *oracle).value();
+        ASSERT_EQ(actual.outcomes, expected.outcomes) << "budget=" << budget;
+        EXPECT_EQ(actual.num_crowdsourced, expected.num_crowdsourced);
+        EXPECT_EQ(actual.num_deduced, expected.num_deduced);
+        EXPECT_EQ(actual.num_unlabeled, expected.num_unlabeled);
+        EXPECT_EQ(oracle->num_queries(), ref_oracle->num_queries());
+      }
+    }
+  }
+}
+
+TEST_F(SessionEquivalence, OneToOneChainMatchesReference) {
+  for (const RandomInstance& instance : Instances()) {
+    GroundTruthOracle truth(instance.entity_of);
+    for (const auto& order : OrdersFor(instance.pairs, truth, 8)) {
+      for (double error_rate : {0.0, 0.25}) {
+        const OracleFactory oracles{&truth, error_rate, 23};
+        auto ref_oracle = oracles.Make();
+        const ReferenceOneToOneResult expected =
+            ReferenceOneToOne(instance.pairs, order, *ref_oracle);
+
+        LabelingSession session;
+        session.AddRule(std::make_unique<TransitiveDeductionRule>())
+            .AddRule(std::make_unique<OneToOneDeductionRule>());
+        auto oracle = oracles.Make();
+        const LabelingReport actual =
+            session.Run(instance.pairs, order, *oracle).value();
+        ASSERT_TRUE(actual.ToLabelingResult().outcomes ==
+                    expected.labeling.outcomes);
+        EXPECT_EQ(actual.num_crowdsourced, expected.labeling.num_crowdsourced);
+        EXPECT_EQ(actual.num_deduced, expected.labeling.num_deduced);
+        EXPECT_EQ(actual.crowdsourced_per_iteration,
+                  expected.labeling.crowdsourced_per_iteration);
+        EXPECT_EQ(actual.num_one_to_one_deduced,
+                  expected.num_one_to_one_deduced);
+        EXPECT_EQ(actual.num_exclusivity_violations,
+                  expected.num_exclusivity_violations);
+      }
+    }
+  }
+}
+
+TEST_F(SessionEquivalence, InstantScheduleMatchesReference) {
+  for (const RandomInstance& instance : Instances()) {
+    GroundTruthOracle truth(instance.entity_of);
+    for (const auto& order : OrdersFor(instance.pairs, truth, 9)) {
+      for (ConflictPolicy policy :
+           {ConflictPolicy::kKeepFirst, ConflictPolicy::kTrustNew}) {
+        for (double error_rate : {0.0, 0.25}) {
+          const OracleFactory oracles{&truth, error_rate, 29};
+          auto ref_oracle = oracles.Make();
+          const LabelingResult expected = ReferenceInstantFifo(
+              instance.pairs, order, *ref_oracle, policy);
+
+          LabelingSessionOptions options;
+          options.schedule = SchedulePolicy::kInstantDecision;
+          options.conflict_policy = policy;
+          LabelingSession session(options);
+          auto oracle = oracles.Make();
+          const LabelingResult actual =
+              session.Run(instance.pairs, order, *oracle)
+                  .value()
+                  .ToLabelingResult();
+          ASSERT_TRUE(actual == expected)
+              << "policy=" << static_cast<int>(policy)
+              << " error_rate=" << error_rate;
+          EXPECT_EQ(oracle->num_queries(), ref_oracle->num_queries());
+        }
+      }
+    }
+  }
+}
+
+// The wrappers themselves (what call sites actually use) against the
+// references — one pass each, closing the loop engine-by-engine.
+TEST_F(SessionEquivalence, LegacyWrappersStillMatchReferences) {
+  const RandomInstance instance = MakeRandomInstance(104, 30, 6, 120);
+  GroundTruthOracle truth(instance.entity_of);
+  const auto order = IdentityOrder(instance.pairs.size());
+
+  {
+    GroundTruthOracle o1 = truth;
+    GroundTruthOracle o2 = truth;
+    EXPECT_TRUE(
+        SequentialLabeler().Run(instance.pairs, order, o1).value() ==
+        ReferenceSequential(instance.pairs, order, o2,
+                            ConflictPolicy::kKeepFirst));
+  }
+  {
+    GroundTruthOracle o1 = truth;
+    GroundTruthOracle o2 = truth;
+    EXPECT_TRUE(
+        ParallelLabeler(ConflictPolicy::kKeepFirst, 4)
+            .Run(instance.pairs, order, o1)
+            .value() ==
+        ReferenceRoundParallel(instance.pairs, order, o2,
+                               ConflictPolicy::kKeepFirst));
+  }
+  {
+    GroundTruthOracle o1 = truth;
+    GroundTruthOracle o2 = truth;
+    const auto actual =
+        BudgetLabeler().Run(instance.pairs, order, 15, o1).value();
+    const auto expected = ReferenceBudget(instance.pairs, order, 15, o2);
+    EXPECT_EQ(actual.outcomes, expected.outcomes);
+    EXPECT_EQ(actual.num_unlabeled, expected.num_unlabeled);
+  }
+  {
+    GroundTruthOracle o1 = truth;
+    GroundTruthOracle o2 = truth;
+    const auto actual =
+        OneToOneLabeler().Run(instance.pairs, order, o1).value();
+    const auto expected = ReferenceOneToOne(instance.pairs, order, o2);
+    EXPECT_TRUE(actual.labeling.outcomes == expected.labeling.outcomes);
+    EXPECT_EQ(actual.num_one_to_one_deduced, expected.num_one_to_one_deduced);
+  }
+  {
+    GroundTruthOracle o1 = truth;
+    GroundTruthOracle o2 = truth;
+    InstantDecisionEngine engine(&instance.pairs, order);
+    std::deque<int32_t> pending;
+    const std::vector<int32_t> initial = engine.Start().value();
+    pending.insert(pending.end(), initial.begin(), initial.end());
+    while (!pending.empty()) {
+      const int32_t pos = pending.front();
+      pending.pop_front();
+      const CandidatePair& pair = instance.pairs[static_cast<size_t>(pos)];
+      const std::vector<int32_t> fresh =
+          engine.OnPairLabeled(pos, o1.GetLabel(pair.a, pair.b)).value();
+      pending.insert(pending.end(), fresh.begin(), fresh.end());
+    }
+    EXPECT_TRUE(engine.Finish().value() ==
+                ReferenceInstantFifo(instance.pairs, order, o2,
+                                     ConflictPolicy::kKeepFirst));
+  }
+}
+
+}  // namespace
+}  // namespace crowdjoin

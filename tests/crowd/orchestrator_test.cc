@@ -109,24 +109,22 @@ TEST(Orchestrator, LocalParallelLabelingUsesConfigThreads) {
     config.false_negative_rate = error_rate;
     config.false_positive_rate = error_rate;
     config.num_threads = 1;
-    const LabelingResult baseline =
+    const LabelingReport baseline =
         RunLocalParallelLabeling(instance.pairs, order, config, truth)
             .value();
     for (int threads : {2, 8}) {
       config.num_threads = threads;
-      const LabelingResult threaded =
+      const LabelingReport threaded =
           RunLocalParallelLabeling(instance.pairs, order, config, truth)
               .value();
       EXPECT_TRUE(threaded == baseline)
           << "error_rate=" << error_rate << " num_threads=" << threads;
     }
     if (error_rate == 0.0) {
-      std::vector<Label> labels;
-      for (const auto& outcome : baseline.outcomes) {
-        labels.push_back(outcome.label);
-      }
       EXPECT_DOUBLE_EQ(
-          ComputeQuality(instance.pairs, labels, truth).f_measure, 1.0);
+          ComputeQuality(instance.pairs, ExtractFinalLabels(baseline), truth)
+              .f_measure,
+          1.0);
     }
   }
 }

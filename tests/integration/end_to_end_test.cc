@@ -214,7 +214,8 @@ TEST(EndToEnd, StreamingCampaignAtScaleFactorTwoIsLossless) {
 
   const GroundTruthOracle truth(stats.entity_of);
   for (size_t i = 0; i < stats.candidates.size(); ++i) {
-    EXPECT_EQ(stats.labeling.outcomes[i].label,
+    ASSERT_TRUE(stats.labeling.outcomes[i].has_value());
+    EXPECT_EQ(stats.labeling.outcomes[i]->label,
               truth.Truth(stats.candidates[i].a, stats.candidates[i].b));
   }
 }
