@@ -28,6 +28,12 @@ class Args {
     return std::strtod(value.c_str(), nullptr);
   }
 
+  std::string GetString(std::string_view name, std::string fallback) const {
+    std::string value;
+    if (!Find(name, &value)) return fallback;
+    return value;
+  }
+
  private:
   bool Find(std::string_view name, std::string* value) const {
     const std::string prefix = "--" + std::string(name) + "=";

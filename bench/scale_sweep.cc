@@ -63,20 +63,32 @@ int main(int argc, char** argv) {
   const auto label_tasks_per_round =
       static_cast<int64_t>(args.GetUint64("label_tasks_per_round", 0));
   const bool product = HasFlag(argc, argv, "--dataset=product");
+  // Similarity measure the machine step joins under: jaccard (default),
+  // edit, or cosine.
+  const MeasureKind measure =
+      bench::Unwrap(SimilarityMeasure::ParseKind(
+          args.GetString("measure", "jaccard")));
+  // >= 0 overrides the generator's per-word typo probability — the knob
+  // that makes near-duplicates diverge at the token level (where the edit
+  // measure still matches them) without rewriting the dataset config.
+  const double typo = args.GetDouble("typo", -1.0);
 
   std::printf(
       "=== scale_sweep: dataset=%s scale=%d threads=%d shards=%d "
-      "threshold=%.2f ===\n",
-      product ? "product" : "paper", scale, threads, shards, threshold);
+      "threshold=%.2f measure=%s ===\n",
+      product ? "product" : "paper", scale, threads, shards, threshold,
+      SimilarityMeasure::Get(measure).name());
 
   std::unique_ptr<RecordSource> source;
   if (product) {
     ProductDatasetConfig config;
     config.seed = seed;
+    if (typo >= 0.0) config.corruption.typo_per_word = typo;
     source = std::make_unique<StreamingProductSource>(config, scale);
   } else {
     PaperDatasetConfig config;
     config.seed = seed;
+    if (typo >= 0.0) config.corruption.typo_per_word = typo;
     source = std::make_unique<StreamingPaperSource>(config, scale);
   }
   const int64_t total = source->meta().total_records;
@@ -97,6 +109,7 @@ int main(int argc, char** argv) {
 
   // Phase 1: machine step — streaming ingest + sharded parallel join.
   CandidateGeneratorOptions options;
+  options.measure = measure;
   options.token_join_threshold = threshold;
   options.min_likelihood = threshold;
   ShardedJoinOptions sharding;

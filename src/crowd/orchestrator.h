@@ -87,7 +87,10 @@ Result<LabelingReport> RunLocalParallelLabeling(
 
 /// Configuration of a streaming campaign (see `RunStreamingCampaign`).
 struct StreamingCampaignConfig {
-  /// Machine-step knobs (join threshold, likelihood cut, noise).
+  /// Machine-step knobs (similarity measure, join threshold, likelihood
+  /// cut, noise). The measure choice lives here — not in `CrowdConfig`,
+  /// which holds crowd-platform knobs — and flows through the candidate
+  /// generator into the sharded join unchanged.
   CandidateGeneratorOptions candidates;
   /// Shard count and worker threads for the sharded similarity join.
   ShardedJoinOptions sharding;

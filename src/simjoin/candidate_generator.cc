@@ -6,8 +6,8 @@
 #include "common/macros.h"
 #include "common/rng.h"
 #include "simjoin/similarity_join.h"
+#include "simjoin/similarity_measure.h"
 #include "simjoin/token_dictionary.h"
-#include "text/tokenize.h"
 
 namespace crowdjoin {
 
@@ -18,13 +18,15 @@ double NoisyLikelihood(double similarity, double stddev, Rng& rng) {
   return std::clamp(similarity + rng.Normal(0.0, stddev), 0.01, 0.99);
 }
 
-std::vector<std::string> RecordTokens(const Record& record) {
+// The text a record joins under: all fields concatenated. The measure
+// turns it into signature tokens (word tokens or q-grams) via `MakeDoc`.
+std::string RecordText(const Record& record) {
   std::string all;
   for (const auto& field : record.fields) {
     all += field;
     all += ' ';
   }
-  return WordTokens(all);
+  return all;
 }
 
 // One record stream tokenized and routed into a sharded joiner — the
@@ -43,8 +45,9 @@ struct IngestedStream {
 // Only the joiner matching the source's shape is touched; the other
 // pointer may be null. `collect_entities` gates the ground-truth vector
 // (skipped when the caller has no use for it — the memory-lean path).
-Status IngestStreamIntoJoiner(RecordSource& source, bool retain_records,
-                              bool collect_entities,
+Status IngestStreamIntoJoiner(RecordSource& source,
+                              const SimilarityMeasure& measure,
+                              bool retain_records, bool collect_entities,
                               TokenDictionary& dictionary,
                               ShardedSelfJoiner* self_joiner,
                               ShardedBipartiteJoiner* bipartite_joiner,
@@ -58,8 +61,8 @@ Status IngestStreamIntoJoiner(RecordSource& source, bool retain_records,
   StreamedRecord streamed;
   size_t stream_pos = 0;
   while (source.Next(&streamed)) {
-    const std::vector<int32_t> doc =
-        dictionary.AddDocument(RecordTokens(streamed.record));
+    const MeasureDoc doc =
+        measure.MakeDoc(RecordText(streamed.record), dictionary);
     if (!bipartite || streamed.side == 0) {
       if (bipartite) {
         bipartite_joiner->AddLeft(doc);
@@ -111,15 +114,16 @@ Result<CandidateSet> GenerateCandidates(
   TokenDictionary dictionary;
   CandidateSet candidates;
   Rng noise_rng(options.noise_seed);
+  const SimilarityMeasure& measure = SimilarityMeasure::Get(options.measure);
 
   if (side_of == nullptr) {
-    std::vector<std::vector<int32_t>> docs(records.size());
+    std::vector<MeasureDoc> docs(records.size());
     for (size_t i = 0; i < records.size(); ++i) {
-      docs[i] = dictionary.AddDocument(RecordTokens(records[i]));
+      docs[i] = measure.MakeDoc(RecordText(records[i]), dictionary);
     }
-    CJ_ASSIGN_OR_RETURN(
-        const std::vector<ScoredPair> joined,
-        PrefixFilterSelfJoin(docs, dictionary, options.token_join_threshold));
+    CJ_ASSIGN_OR_RETURN(const std::vector<ScoredPair> joined,
+                        MeasureSelfJoin(docs, dictionary, measure,
+                                        options.token_join_threshold));
     candidates.reserve(joined.size());
     for (const ScoredPair& pair : joined) {
       const Record& ra = records[static_cast<size_t>(pair.left)];
@@ -135,24 +139,24 @@ Result<CandidateSet> GenerateCandidates(
   }
 
   // Bipartite: split record indexes by side, join, map back.
-  std::vector<std::vector<int32_t>> left_docs;
-  std::vector<std::vector<int32_t>> right_docs;
+  std::vector<MeasureDoc> left_docs;
+  std::vector<MeasureDoc> right_docs;
   std::vector<size_t> left_index;
   std::vector<size_t> right_index;
   for (size_t i = 0; i < records.size(); ++i) {
-    const std::vector<std::string> tokens = RecordTokens(records[i]);
+    MeasureDoc doc = measure.MakeDoc(RecordText(records[i]), dictionary);
     if ((*side_of)[i] == 0) {
-      left_docs.push_back(dictionary.AddDocument(tokens));
+      left_docs.push_back(std::move(doc));
       left_index.push_back(i);
     } else {
-      right_docs.push_back(dictionary.AddDocument(tokens));
+      right_docs.push_back(std::move(doc));
       right_index.push_back(i);
     }
   }
   CJ_ASSIGN_OR_RETURN(
       const std::vector<ScoredPair> joined,
-      PrefixFilterBipartiteJoin(left_docs, right_docs, dictionary,
-                                options.token_join_threshold));
+      MeasureBipartiteJoin(left_docs, right_docs, dictionary, measure,
+                           options.token_join_threshold));
   candidates.reserve(joined.size());
   for (const ScoredPair& pair : joined) {
     const Record& ra = records[left_index[static_cast<size_t>(pair.left)]];
@@ -176,12 +180,13 @@ Result<CandidateSet> GenerateCandidatesStreaming(
   TokenDictionary dictionary;
   ShardedSelfJoiner self_joiner(sharding.num_shards);
   ShardedBipartiteJoiner bipartite_joiner(sharding.num_shards);
+  const SimilarityMeasure& measure = SimilarityMeasure::Get(options.measure);
 
   // Ingest via the shared helper; records are retained only when a scorer
   // needs the text back for the likelihood blend.
   IngestedStream ingest;
   CJ_RETURN_IF_ERROR(IngestStreamIntoJoiner(
-      source, /*retain_records=*/scorer != nullptr,
+      source, measure, /*retain_records=*/scorer != nullptr,
       /*collect_entities=*/entity_of_out != nullptr, dictionary,
       &self_joiner, &bipartite_joiner, ingest));
   if (entity_of_out != nullptr) *entity_of_out = std::move(ingest.entity_of);
@@ -193,12 +198,13 @@ Result<CandidateSet> GenerateCandidatesStreaming(
     ThreadPool* pool_ptr = pool.num_threads() > 0 ? &pool : nullptr;
     if (!bipartite) {
       CJ_ASSIGN_OR_RETURN(
-          joined, self_joiner.Finish(dictionary, options.token_join_threshold,
-                                     pool_ptr));
+          joined, self_joiner.Finish(dictionary, measure,
+                                     options.token_join_threshold, pool_ptr));
     } else {
-      CJ_ASSIGN_OR_RETURN(joined, bipartite_joiner.Finish(
-                                      dictionary,
-                                      options.token_join_threshold, pool_ptr));
+      CJ_ASSIGN_OR_RETURN(
+          joined, bipartite_joiner.Finish(dictionary, measure,
+                                          options.token_join_threshold,
+                                          pool_ptr));
     }
   }
 
@@ -263,28 +269,32 @@ Result<std::unique_ptr<StreamingCandidateFeed>> StreamingCandidateFeed::Open(
   // Shared ingest, scorer-free: nothing but token docs and ids is
   // retained. (Only the joiner matching the source's shape exists here;
   // the helper never touches the other side.)
+  const SimilarityMeasure& measure =
+      SimilarityMeasure::Get(options.candidates.measure);
   IngestedStream ingest;
   CJ_RETURN_IF_ERROR(IngestStreamIntoJoiner(
-      source, /*retain_records=*/false, /*collect_entities=*/true,
+      source, measure, /*retain_records=*/false, /*collect_entities=*/true,
       feed->dictionary_, feed->self_joiner_.get(),
       feed->bipartite_joiner_.get(), ingest));
   feed->left_ids_ = std::move(ingest.left_ids);
   feed->right_ids_ = std::move(ingest.right_ids);
   feed->entity_of_ = std::move(ingest.entity_of);
 
-  // Prepare the join (phase 1) and park the task cursor.
+  // Prepare the join (phase 1) and park the task cursor. The measure
+  // singleton outlives the cursor by construction.
   ThreadPool* pool = feed->pool_.num_threads() > 0 ? &feed->pool_ : nullptr;
   const double threshold = options.candidates.token_join_threshold;
   if (bipartite) {
     CJ_ASSIGN_OR_RETURN(
         ShardedJoinCursor cursor,
-        feed->bipartite_joiner_->MakeCursor(feed->dictionary_, threshold,
-                                            pool));
+        feed->bipartite_joiner_->MakeCursor(feed->dictionary_, measure,
+                                            threshold, pool));
     feed->cursor_.emplace(std::move(cursor));
   } else {
-    CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
-                        feed->self_joiner_->MakeCursor(feed->dictionary_,
-                                                       threshold, pool));
+    CJ_ASSIGN_OR_RETURN(
+        ShardedJoinCursor cursor,
+        feed->self_joiner_->MakeCursor(feed->dictionary_, measure, threshold,
+                                       pool));
     feed->cursor_.emplace(std::move(cursor));
   }
   return feed;

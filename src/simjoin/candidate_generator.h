@@ -12,6 +12,7 @@
 #include "core/labeling_session.h"
 #include "datagen/record_source.h"
 #include "simjoin/sharded_join.h"
+#include "simjoin/similarity_measure.h"
 #include "simjoin/token_dictionary.h"
 #include "text/record.h"
 #include "text/record_similarity.h"
@@ -20,9 +21,13 @@ namespace crowdjoin {
 
 /// Options for machine-based candidate generation (Section 2.3).
 struct CandidateGeneratorOptions {
-  /// Coarse token-Jaccard prune applied by the similarity join before the
-  /// full record scorer runs. Loose by design: the paper's machine step
-  /// "weeds out pairs that look very dissimilar" [25].
+  /// Similarity measure the pruning join runs under. Jaccard is the
+  /// paper's default machine step; edit distance fits typo-heavy corpora
+  /// where word tokens diverge, cosine down-weights boilerplate tokens.
+  MeasureKind measure = MeasureKind::kJaccard;
+  /// Coarse similarity prune applied by the join (under `measure`) before
+  /// the full record scorer runs. Loose by design: the paper's machine
+  /// step "weeds out pairs that look very dissimilar" [25].
   double token_join_threshold = 0.1;
   /// Pairs whose blended record similarity (the matching likelihood) falls
   /// below this are dropped from the candidate set.
@@ -41,9 +46,11 @@ struct CandidateGeneratorOptions {
 /// \brief The machine step of the hybrid workflow: generates the candidate
 /// set of matching pairs with likelihoods.
 ///
-/// Every record's fields are concatenated and word-tokenized; a
-/// prefix-filter similarity join prunes the cross product; survivors are
-/// scored by `scorer` (call `scorer.FitTfIdf` first if it uses TF-IDF).
+/// Every record's fields are concatenated and turned into a measure
+/// document (`options.measure`: word tokens for Jaccard/cosine, q-grams of
+/// the normalized text for edit distance); a prefix-filter similarity join
+/// prunes the cross product; survivors are scored by `scorer` (call
+/// `scorer.FitTfIdf` first if it uses TF-IDF).
 ///
 /// `side_of` selects the join shape: nullptr runs a self-join over
 /// `records`; otherwise `side_of[i]` in {0, 1} assigns each record to one
@@ -62,10 +69,10 @@ Result<CandidateSet> GenerateCandidates(
 /// `ShardedBipartiteJoiner` (chosen by `source.meta().bipartite`); the
 /// join then fans across `sharding.num_threads` pool workers.
 ///
-/// `scorer` may be null: likelihoods are then the join's token-Jaccard
-/// scores and **no record text is retained** — memory stays at the token
-/// docs plus the candidate set, which is what makes million-record
-/// campaigns fit. With a scorer (fit it over the same corpus first) the
+/// `scorer` may be null: likelihoods are then the join's similarity
+/// scores (under `options.measure`) and **no record text is retained** —
+/// memory stays at the measure docs plus the candidate set, which is what
+/// makes million-record campaigns fit. With a scorer (fit it over the same corpus first) the
 /// streamed records are retained for scoring and the result is
 /// byte-identical to `GenerateCandidates` over the materialized dataset.
 ///
@@ -85,7 +92,8 @@ Result<CandidateSet> GenerateCandidatesStreaming(
 /// one round (the output of `tasks_per_round` probe tasks).
 ///
 /// This is the scorer-free memory-lean path: likelihoods are the join's
-/// token-Jaccard scores, optionally noised in emission order (which, unlike
+/// similarity scores under `candidates.measure`, optionally noised in
+/// emission order (which, unlike
 /// the batch path's global order, depends on the round partition — only the
 /// zero-noise configuration is partition-independent). No record text is
 /// retained; ground truth is captured from the stream during `Open`.

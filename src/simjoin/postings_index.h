@@ -153,54 +153,64 @@ struct JoinCandidate {
 
 /// \brief The candidate-gather loop shared by every join path: probe one
 /// document's prefix against a postings arena, deduplicate via
-/// `last_seen`, window by length, and prune with the PPJoin positional
-/// filter.
+/// `last_seen`, window by measure size, and prune with the PPJoin
+/// positional filter.
 ///
-/// `len_of(doc)` returns a candidate document's size; `skip(doc)` is an
-/// extra reject (the sharded self-join's same-shard ordering rule) that
-/// still marks `last_seen`. `probe_mark` must be unique per probe
-/// document against a given `last_seen` array (initialized to -1).
+/// Measure-generic via three accessors. `size_of(doc)` is the candidate's
+/// measure size — the dimension the size window cuts on (token count for
+/// the set measures, normalized string length for edit distance).
+/// `tok_len_of(doc)` is its signature length, which the positional bound
+/// counts in; for the set measures the two coincide. `required_of(size)`
+/// maps a candidate size to the measure's minimum signature overlap for
+/// this probe (the caller closes over the threshold and the probe's own
+/// dimensions). `skip(doc)` is an extra reject (the sharded self-join's
+/// same-shard ordering rule) that still marks `last_seen`. `probe_mark`
+/// must be unique per probe document against a given `last_seen` array
+/// (initialized to -1).
 ///
-/// Length window: postings lists must be sorted ascending by
-/// `len_of(doc)`; the `[min_len, max_len]` window is then located by
+/// Size window: postings lists must be sorted ascending by
+/// `size_of(doc)`; the `[min_size, max_size]` window is then located by
 /// binary search, with O(1) endpoint pre-checks so fully qualifying lists
-/// (the common case) skip the searches. Pass a huge `max_len` when only
+/// (the common case) skip the searches. Pass a huge `max_size` when only
 /// the lower bound applies (the sequential self-join indexes only
-/// shorter-or-equal documents).
+/// smaller-or-equal documents).
 ///
 /// Positional filter: `last_seen` dedupe means a candidate is visited at
-/// the *first* shared prefix token, where no smaller-rank token is
-/// common (a smaller common token would sit inside both prefixes and
-/// would have matched earlier). The total overlap is therefore at most
-/// this token plus everything after it on both sides; candidates whose
-/// bound cannot reach `RequiredOverlap` are dropped before verification
-/// ever touches them — exactly the pairs `BoundedJaccard` would have
+/// the *first* shared prefix token — no smaller-rank token is common,
+/// because prefixes are leading slices of the ascending rank order, so a
+/// smaller common token would sit inside both prefixes and would have
+/// matched earlier. The total signature overlap is therefore at most this
+/// token plus everything after it on both sides; candidates whose bound
+/// cannot reach `required_of` are dropped before verification ever
+/// touches them — exactly the pairs bounded verification would have
 /// rejected, so join output is unchanged.
-template <typename LenOf, typename Skip>
+template <typename SizeOf, typename TokLenOf, typename RequiredOf,
+          typename Skip>
 inline void GatherPositionalCandidates(
     const PostingsArena& index, const int32_t* probe_prefix,
-    size_t prefix_len, size_t probe_len, double threshold, size_t min_len,
-    size_t max_len, int32_t probe_mark, std::vector<int32_t>& last_seen,
-    LenOf len_of, Skip skip, std::vector<JoinCandidate>& out) {
+    size_t prefix_len, size_t probe_tok_len, size_t min_size,
+    size_t max_size, int32_t probe_mark, std::vector<int32_t>& last_seen,
+    SizeOf size_of, TokLenOf tok_len_of, RequiredOf required_of, Skip skip,
+    std::vector<JoinCandidate>& out) {
   // Within one probe the required overlap depends only on the candidate
-  // length, and postings arrive in ascending-length runs — memoize the
-  // last (len -> required) pair instead of paying the fp divide + ceil
-  // per posting. Same function, same arguments: bit-identical results.
-  size_t memo_len = std::numeric_limits<size_t>::max();
+  // size, and postings arrive in ascending-size runs — memoize the last
+  // (size -> required) pair instead of paying the fp divide + ceil per
+  // posting. Same function, same arguments: bit-identical results.
+  size_t memo_size = std::numeric_limits<size_t>::max();
   size_t memo_required = 0;
   for (size_t p = 0; p < prefix_len; ++p) {
     const int32_t token = probe_prefix[p];
     const Posting* begin = index.begin(token);
     const Posting* end = index.end(token);
     if (begin == end) continue;
-    if (len_of(begin->doc) < min_len) {
+    if (size_of(begin->doc) < min_size) {
       begin = std::partition_point(begin, end, [&](const Posting& e) {
-        return len_of(e.doc) < min_len;
+        return size_of(e.doc) < min_size;
       });
     }
-    if (begin != end && len_of((end - 1)->doc) > max_len) {
+    if (begin != end && size_of((end - 1)->doc) > max_size) {
       end = std::partition_point(begin, end, [&](const Posting& e) {
-        return len_of(e.doc) <= max_len;
+        return size_of(e.doc) <= max_size;
       });
     }
     for (const Posting* it = begin; it != end; ++it) {
@@ -208,17 +218,57 @@ inline void GatherPositionalCandidates(
       if (last_seen[static_cast<size_t>(doc)] == probe_mark) continue;
       last_seen[static_cast<size_t>(doc)] = probe_mark;
       if (skip(doc)) continue;
-      const size_t len = len_of(doc);
-      if (len != memo_len) {
-        memo_len = len;
-        memo_required = RequiredOverlap(threshold, probe_len, len);
+      const size_t size = size_of(doc);
+      if (size != memo_size) {
+        memo_size = size;
+        memo_required = required_of(size);
       }
       const size_t upper_bound =
-          1 + std::min(probe_len - p - 1,
-                       len - static_cast<size_t>(it->pos) - 1);
+          1 + std::min(probe_tok_len - p - 1,
+                       tok_len_of(doc) - static_cast<size_t>(it->pos) - 1);
       if (upper_bound < memo_required) continue;
       out.push_back({doc, static_cast<int32_t>(p), it->pos});
     }
+  }
+}
+
+/// \brief Size-windowed sweep of a measure's fallback bucket — the indexed
+/// documents whose signatures are too short for the prefix scheme to be
+/// complete on (the edit measure's `Unfilterable` documents, whose
+/// qualifying partners may share *zero* signature tokens).
+///
+/// `docs` must be sorted ascending by `(size_of(doc), doc)` so the
+/// `[min_size, max_size]` window binary-searches the same way the postings
+/// window does. Only unfilterable *probes* scan the bucket — a filterable
+/// probe's qualifying pairs are already complete through the postings (an
+/// unfilterable indexed document's prefix is its whole signature).
+/// Candidates carry no seed positions (`{doc, 0, 0}`); fallback-using
+/// measures verify from scratch. Shares `last_seen`/`probe_mark` with
+/// `GatherPositionalCandidates`, so a document already gathered through a
+/// shared token is not re-emitted — call this *after* the postings gather
+/// for the same probe.
+template <typename SizeOf, typename Skip>
+inline void GatherFallbackCandidates(
+    const std::vector<int32_t>& docs, size_t min_size, size_t max_size,
+    int32_t probe_mark, std::vector<int32_t>& last_seen, SizeOf size_of,
+    Skip skip, std::vector<JoinCandidate>& out) {
+  const int32_t* begin = docs.data();
+  const int32_t* end = begin + docs.size();
+  if (begin == end) return;
+  if (size_of(*begin) < min_size) {
+    begin = std::partition_point(
+        begin, end, [&](int32_t d) { return size_of(d) < min_size; });
+  }
+  if (begin != end && size_of(*(end - 1)) > max_size) {
+    end = std::partition_point(
+        begin, end, [&](int32_t d) { return size_of(d) <= max_size; });
+  }
+  for (const int32_t* it = begin; it != end; ++it) {
+    const int32_t doc = *it;
+    if (last_seen[static_cast<size_t>(doc)] == probe_mark) continue;
+    last_seen[static_cast<size_t>(doc)] = probe_mark;
+    if (skip(doc)) continue;
+    out.push_back({doc, 0, 0});
   }
 }
 

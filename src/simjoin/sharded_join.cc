@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "simjoin/measure_policy.h"
 #include "simjoin/postings_index.h"
 #include "simjoin/prefix_filter.h"
 #include "text/set_similarity.h"
@@ -42,10 +43,14 @@ std::vector<ScoredPair> MergeTaskOutputs(
 // ---------------------------------------------------------------------------
 
 void ShardedSelfJoiner::Shard::Append(int32_t global_id,
-                                      const std::vector<int32_t>& doc) {
+                                      const std::vector<int32_t>& doc,
+                                      int32_t size, std::string_view payload) {
   doc_ids.push_back(global_id);
   tokens.insert(tokens.end(), doc.begin(), doc.end());
   offsets.push_back(static_cast<int64_t>(tokens.size()));
+  sizes.push_back(size);
+  payloads.insert(payloads.end(), payload.begin(), payload.end());
+  payload_offsets.push_back(static_cast<int64_t>(payloads.size()));
 }
 
 ShardedSelfJoiner::ShardedSelfJoiner(int num_shards)
@@ -54,7 +59,16 @@ ShardedSelfJoiner::ShardedSelfJoiner(int num_shards)
 void ShardedSelfJoiner::Add(const std::vector<int32_t>& doc) {
   const auto shard = static_cast<size_t>(
       num_docs_ % static_cast<int64_t>(shards_.size()));
-  shards_[shard].Append(static_cast<int32_t>(num_docs_), doc);
+  shards_[shard].Append(static_cast<int32_t>(num_docs_), doc,
+                        static_cast<int32_t>(doc.size()), std::string_view());
+  ++num_docs_;
+}
+
+void ShardedSelfJoiner::Add(const MeasureDoc& doc) {
+  const auto shard = static_cast<size_t>(
+      num_docs_ % static_cast<int64_t>(shards_.size()));
+  shards_[shard].Append(static_cast<int32_t>(num_docs_), doc.tokens, doc.size,
+                        doc.payload);
   ++num_docs_;
 }
 
@@ -69,37 +83,62 @@ struct ShardedSelfJoiner::Prepared {
   std::vector<int32_t> rank_tokens;
   /// Prefix length of each document at the join threshold.
   std::vector<int32_t> prefix_len;
-  /// Document lengths, flat — the hot lookup of the gather's length
-  /// window.
-  std::vector<size_t> lens;
+  /// Per-doc measure sizes, flat — the hot lookup of the gather's size
+  /// window (== signature lengths for the set measures).
+  std::vector<size_t> sizes;
+  /// Per-doc signature lengths, flat — what the positional filter counts.
+  std::vector<size_t> tok_lens;
   /// Flat prefix postings over dense ranks, each token's list filled in
-  /// ascending (length, local id) order for the binary-searched window.
+  /// ascending (size, local id) order for the binary-searched window.
   PostingsArena index;
+  /// Local ids of this shard's unfilterable documents, sorted ascending by
+  /// (size, local id) — the fallback bucket (edit measure only; empty for
+  /// measures whose prefix scheme is complete).
+  std::vector<int32_t> fallback;
 };
 
-ShardedSelfJoiner::Prepared ShardedSelfJoiner::Prepare(
-    const Shard& shard, const std::vector<int32_t>& ranks, double threshold,
-    bool build_index) {
+template <typename Policy>
+ShardedSelfJoiner::Prepared ShardedSelfJoiner::PrepareT(
+    const Policy& policy, const Shard& shard,
+    const std::vector<int32_t>& ranks, double threshold, bool build_index) {
   Prepared prepared;
   prepared.rank_tokens = shard.tokens;
   const size_t n = shard.size();
   prepared.prefix_len.resize(n);
-  prepared.lens.resize(n);
+  prepared.sizes.resize(n);
+  prepared.tok_lens.resize(n);
   for (size_t d = 0; d < n; ++d) {
     int32_t* begin = prepared.rank_tokens.data() + shard.offsets[d];
     int32_t* end = prepared.rank_tokens.data() + shard.offsets[d + 1];
     RankEncodeRange(begin, end, ranks);
-    const auto len = static_cast<size_t>(end - begin);
-    prepared.lens[d] = len;
-    prepared.prefix_len[d] = static_cast<int32_t>(PrefixLength(threshold, len));
+    const auto tok_len = static_cast<size_t>(end - begin);
+    prepared.tok_lens[d] = tok_len;
+    prepared.sizes[d] = static_cast<size_t>(shard.sizes[d]);
+    prepared.prefix_len[d] = static_cast<int32_t>(
+        policy.PrefixLen(threshold, begin, tok_len, prepared.sizes[d]));
   }
   if (build_index) {
     BuildLengthOrderedPostings(
-        prepared.index, ranks.size(), prepared.lens, prepared.prefix_len,
+        prepared.index, ranks.size(), prepared.sizes, prepared.prefix_len,
         [&prepared, &shard](int32_t d) {
           return prepared.rank_tokens.data() +
                  shard.offsets[static_cast<size_t>(d)];
         });
+    if constexpr (Policy::kUsesFallback) {
+      for (size_t d = 0; d < n; ++d) {
+        if (policy.Unfilterable(threshold, prepared.tok_lens[d],
+                                prepared.sizes[d])) {
+          prepared.fallback.push_back(static_cast<int32_t>(d));
+        }
+      }
+      std::sort(prepared.fallback.begin(), prepared.fallback.end(),
+                [&prepared](int32_t x, int32_t y) {
+                  const size_t sx = prepared.sizes[static_cast<size_t>(x)];
+                  const size_t sy = prepared.sizes[static_cast<size_t>(y)];
+                  if (sx != sy) return sx < sy;
+                  return x < y;
+                });
+    }
   }
   return prepared;
 }
@@ -108,24 +147,30 @@ ShardedSelfJoiner::Prepared ShardedSelfJoiner::Prepare(
 // Shard-vs-shard probe (phase 2)
 // ---------------------------------------------------------------------------
 
-void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
-                                  const Prepared& target,
-                                  const Shard& probe_raw,
-                                  const Prepared& probe, bool same_shard,
-                                  bool bipartite_emit, double threshold,
-                                  std::vector<ScoredPair>& out) {
+template <typename Policy>
+void ShardedSelfJoiner::ProbeTaskT(const Policy& policy,
+                                   const Shard& target_raw,
+                                   const Prepared& target,
+                                   const Shard& probe_raw,
+                                   const Prepared& probe, bool same_shard,
+                                   bool bipartite_emit, double threshold,
+                                   std::vector<ScoredPair>& out) {
   std::vector<int32_t> last_seen(target_raw.size(), -1);
   std::vector<JoinCandidate> candidates;  // scratch, reused across probes
-  const auto len_of = [&target](int32_t doc) {
-    return target.lens[static_cast<size_t>(doc)];
+  const auto size_of = [&target](int32_t doc) {
+    return target.sizes[static_cast<size_t>(doc)];
+  };
+  const auto tok_len_of = [&target](int32_t doc) {
+    return target.tok_lens[static_cast<size_t>(doc)];
   };
   for (size_t j = 0; j < probe_raw.size(); ++j) {
     const int64_t begin_j = probe_raw.offsets[j];
-    const size_t len_j = probe.lens[j];
-    if (len_j == 0) continue;
+    const size_t tok_len_j = probe.tok_lens[j];
+    if (tok_len_j == 0) continue;
+    const size_t size_j = probe.sizes[j];
     const auto prefix_j = static_cast<size_t>(probe.prefix_len[j]);
-    const size_t min_len = CeilThresholdLength(threshold, len_j);
-    const size_t max_len = FloorThresholdLength(threshold, len_j);
+    const size_t min_size = policy.MinSize(threshold, size_j);
+    const size_t max_size = policy.MaxSize(threshold, size_j);
     const int32_t* probe_ranks =
         probe.rank_tokens.data() + static_cast<size_t>(begin_j);
 
@@ -135,18 +180,35 @@ void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
     const auto skip = [same_shard, j](int32_t i) {
       return same_shard && i >= static_cast<int32_t>(j);
     };
-    GatherPositionalCandidates(target.index, probe_ranks, prefix_j, len_j,
-                               threshold, min_len, max_len,
-                               static_cast<int32_t>(j), last_seen, len_of,
+    const auto required_of = [&policy, threshold, tok_len_j,
+                              size_j](size_t cand_size) {
+      return policy.Required(threshold, tok_len_j, size_j, cand_size);
+    };
+    GatherPositionalCandidates(target.index, probe_ranks, prefix_j, tok_len_j,
+                               min_size, max_size, static_cast<int32_t>(j),
+                               last_seen, size_of, tok_len_of, required_of,
                                skip, candidates);
+    if constexpr (Policy::kUsesFallback) {
+      // Unfilterable probes also sweep the target shard's fallback bucket;
+      // shared last_seen keeps postings-found partners from re-emitting.
+      if (policy.Unfilterable(threshold, tok_len_j, size_j)) {
+        GatherFallbackCandidates(target.fallback, min_size, max_size,
+                                 static_cast<int32_t>(j), last_seen, size_of,
+                                 skip, candidates);
+      }
+    }
+    const internal::MeasureDocRef probe_ref{probe_ranks, tok_len_j, size_j,
+                                            probe_raw.payload(j)};
     for (const JoinCandidate& cand : candidates) {
       const auto i = static_cast<size_t>(cand.doc);
       const int32_t* target_ranks =
           target.rank_tokens.data() + target_raw.offsets[i];
-      const double score = BoundedJaccardSeeded(
-          target_ranks, target.lens[i], probe_ranks, len_j,
-          static_cast<size_t>(cand.index_pos) + 1,
-          static_cast<size_t>(cand.probe_pos) + 1, 1, threshold);
+      const internal::MeasureDocRef target_ref{target_ranks, target.tok_lens[i],
+                                               target.sizes[i],
+                                               target_raw.payload(i)};
+      const double score = policy.Verify(
+          target_ref, probe_ref, static_cast<size_t>(cand.index_pos),
+          static_cast<size_t>(cand.probe_pos), threshold);
       if (score + 1e-12 >= threshold) {
         const int32_t gi = target_raw.doc_ids[i];
         const int32_t gj = probe_raw.doc_ids[j];
@@ -167,6 +229,12 @@ void ShardedSelfJoiner::ProbeTask(const Shard& target_raw,
 struct ShardedJoinCursor::Impl {
   double threshold = 0.0;
   bool bipartite = false;
+  /// The measure this cursor's tasks run under; the policy dispatch
+  /// happens per task, so one cursor type serves every measure.
+  const SimilarityMeasure* measure = nullptr;
+  /// Per-rank idf weights, populated for the cosine measure only; the
+  /// cosine policy holds a pointer into this for the cursor's lifetime.
+  std::vector<double> cosine_weights;
   // Self-join: both sides point at the same joiner/prepared set.
   const ShardedSelfJoiner* target_joiner = nullptr;
   const ShardedSelfJoiner* probe_joiner = nullptr;
@@ -207,13 +275,16 @@ Result<std::vector<ScoredPair>> ShardedJoinCursor::NextBatch(
         const auto& probe_prepared =
             impl.bipartite ? impl.probe_prepared : impl.target_prepared;
         std::vector<ScoredPair> out;
-        ShardedSelfJoiner::ProbeTask(
-            impl.target_joiner->shards_[static_cast<size_t>(a)],
-            impl.target_prepared[static_cast<size_t>(a)],
-            impl.probe_joiner->shards_[static_cast<size_t>(b)],
-            probe_prepared[static_cast<size_t>(b)],
-            /*same_shard=*/!impl.bipartite && a == b,
-            /*bipartite_emit=*/impl.bipartite, impl.threshold, out);
+        internal::DispatchMeasure(
+            *impl.measure, &impl.cosine_weights, [&](auto policy) {
+              ShardedSelfJoiner::ProbeTaskT(
+                  policy, impl.target_joiner->shards_[static_cast<size_t>(a)],
+                  impl.target_prepared[static_cast<size_t>(a)],
+                  impl.probe_joiner->shards_[static_cast<size_t>(b)],
+                  probe_prepared[static_cast<size_t>(b)],
+                  /*same_shard=*/!impl.bipartite && a == b,
+                  /*bipartite_emit=*/impl.bipartite, impl.threshold, out);
+            });
         return out;
       });
   return MergeTaskOutputs(std::move(per_task));
@@ -224,8 +295,8 @@ Result<std::vector<ScoredPair>> ShardedJoinCursor::NextBatch(
 // ---------------------------------------------------------------------------
 
 Result<ShardedJoinCursor> ShardedSelfJoiner::MakeCursor(
-    const TokenDictionary& dictionary, double threshold,
-    ThreadPool* pool) const {
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, ThreadPool* pool) const {
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
   const auto num_shards = static_cast<int64_t>(shards_.size());
 
@@ -236,12 +307,21 @@ Result<ShardedJoinCursor> ShardedSelfJoiner::MakeCursor(
   auto impl = std::make_unique<ShardedJoinCursor::Impl>();
   impl->threshold = threshold;
   impl->bipartite = false;
+  impl->measure = &measure;
+  // Cosine prefixes are weight-driven, so the weights must exist before
+  // phase 1 runs.
+  if (measure.kind() == MeasureKind::kCosineTfIdf) {
+    impl->cosine_weights = CosineRankWeights(dictionary, ranks);
+  }
   impl->target_joiner = this;
   impl->probe_joiner = this;
   // Phase 1: every shard's rank order + prefix postings, in parallel.
   impl->target_prepared = ParallelMap(pool, num_shards, [&](int64_t s) {
-    return Prepare(shards_[static_cast<size_t>(s)], ranks, threshold,
-                   /*build_index=*/true);
+    return internal::DispatchMeasure(
+        measure, &impl->cosine_weights, [&](auto policy) {
+          return PrepareT(policy, shards_[static_cast<size_t>(s)], ranks,
+                          threshold, /*build_index=*/true);
+        });
   });
   // Phase 2's plan: one task per unordered shard pairing (a <= b): probe
   // shard b's documents against shard a's prefix index.
@@ -252,13 +332,25 @@ Result<ShardedJoinCursor> ShardedSelfJoiner::MakeCursor(
   return ShardedJoinCursor(std::move(impl));
 }
 
+Result<ShardedJoinCursor> ShardedSelfJoiner::MakeCursor(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  return MakeCursor(dictionary, SimilarityMeasure::Jaccard(), threshold, pool);
+}
+
+Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, ThreadPool* pool) const {
+  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
+                      MakeCursor(dictionary, measure, threshold, pool));
+  // Draining every task in one batch is exactly the one-shot join.
+  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
+}
+
 Result<std::vector<ScoredPair>> ShardedSelfJoiner::Finish(
     const TokenDictionary& dictionary, double threshold,
     ThreadPool* pool) const {
-  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
-                      MakeCursor(dictionary, threshold, pool));
-  // Draining every task in one batch is exactly the one-shot join.
-  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
+  return Finish(dictionary, SimilarityMeasure::Jaccard(), threshold, pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -276,9 +368,17 @@ void ShardedBipartiteJoiner::AddRight(const std::vector<int32_t>& doc) {
   right_.Add(doc);
 }
 
+void ShardedBipartiteJoiner::AddLeft(const MeasureDoc& doc) {
+  left_.Add(doc);
+}
+
+void ShardedBipartiteJoiner::AddRight(const MeasureDoc& doc) {
+  right_.Add(doc);
+}
+
 Result<ShardedJoinCursor> ShardedBipartiteJoiner::MakeCursor(
-    const TokenDictionary& dictionary, double threshold,
-    ThreadPool* pool) const {
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, ThreadPool* pool) const {
   CJ_RETURN_IF_ERROR(ValidateJoinThreshold(threshold));
   const auto left_shards = static_cast<int64_t>(left_.shards_.size());
   const auto right_shards = static_cast<int64_t>(right_.shards_.size());
@@ -288,18 +388,28 @@ Result<ShardedJoinCursor> ShardedBipartiteJoiner::MakeCursor(
   auto impl = std::make_unique<ShardedJoinCursor::Impl>();
   impl->threshold = threshold;
   impl->bipartite = true;
+  impl->measure = &measure;
+  if (measure.kind() == MeasureKind::kCosineTfIdf) {
+    impl->cosine_weights = CosineRankWeights(dictionary, ranks);
+  }
   impl->target_joiner = &left_;
   impl->probe_joiner = &right_;
   // Left shards carry the index; right shards only need prefixes.
   impl->target_prepared = ParallelMap(pool, left_shards, [&](int64_t s) {
-    return ShardedSelfJoiner::Prepare(left_.shards_[static_cast<size_t>(s)],
-                                      ranks, threshold,
-                                      /*build_index=*/true);
+    return internal::DispatchMeasure(
+        measure, &impl->cosine_weights, [&](auto policy) {
+          return ShardedSelfJoiner::PrepareT(
+              policy, left_.shards_[static_cast<size_t>(s)], ranks, threshold,
+              /*build_index=*/true);
+        });
   });
   impl->probe_prepared = ParallelMap(pool, right_shards, [&](int64_t s) {
-    return ShardedSelfJoiner::Prepare(right_.shards_[static_cast<size_t>(s)],
-                                      ranks, threshold,
-                                      /*build_index=*/false);
+    return internal::DispatchMeasure(
+        measure, &impl->cosine_weights, [&](auto policy) {
+          return ShardedSelfJoiner::PrepareT(
+              policy, right_.shards_[static_cast<size_t>(s)], ranks, threshold,
+              /*build_index=*/false);
+        });
   });
 
   // One task per left-shard x right-shard pairing.
@@ -310,12 +420,24 @@ Result<ShardedJoinCursor> ShardedBipartiteJoiner::MakeCursor(
   return ShardedJoinCursor(std::move(impl));
 }
 
+Result<ShardedJoinCursor> ShardedBipartiteJoiner::MakeCursor(
+    const TokenDictionary& dictionary, double threshold,
+    ThreadPool* pool) const {
+  return MakeCursor(dictionary, SimilarityMeasure::Jaccard(), threshold, pool);
+}
+
+Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, ThreadPool* pool) const {
+  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
+                      MakeCursor(dictionary, measure, threshold, pool));
+  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
+}
+
 Result<std::vector<ScoredPair>> ShardedBipartiteJoiner::Finish(
     const TokenDictionary& dictionary, double threshold,
     ThreadPool* pool) const {
-  CJ_ASSIGN_OR_RETURN(ShardedJoinCursor cursor,
-                      MakeCursor(dictionary, threshold, pool));
-  return cursor.NextBatch(std::max<int64_t>(cursor.num_tasks(), 1), pool);
+  return Finish(dictionary, SimilarityMeasure::Jaccard(), threshold, pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -348,6 +470,33 @@ Result<std::vector<ScoredPair>> ShardedBipartiteJoin(
     return joiner.Finish(dictionary, threshold, &pool);
   }
   return joiner.Finish(dictionary, threshold, nullptr);
+}
+
+Result<std::vector<ScoredPair>> ShardedMeasureSelfJoin(
+    const std::vector<MeasureDoc>& docs, const TokenDictionary& dictionary,
+    const SimilarityMeasure& measure, double threshold,
+    const ShardedJoinOptions& options) {
+  ShardedSelfJoiner joiner(options.num_shards);
+  for (const auto& doc : docs) joiner.Add(doc);
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    return joiner.Finish(dictionary, measure, threshold, &pool);
+  }
+  return joiner.Finish(dictionary, measure, threshold, nullptr);
+}
+
+Result<std::vector<ScoredPair>> ShardedMeasureBipartiteJoin(
+    const std::vector<MeasureDoc>& left, const std::vector<MeasureDoc>& right,
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, const ShardedJoinOptions& options) {
+  ShardedBipartiteJoiner joiner(options.num_shards);
+  for (const auto& doc : left) joiner.AddLeft(doc);
+  for (const auto& doc : right) joiner.AddRight(doc);
+  if (options.num_threads > 0) {
+    ThreadPool pool(options.num_threads);
+    return joiner.Finish(dictionary, measure, threshold, &pool);
+  }
+  return joiner.Finish(dictionary, measure, threshold, nullptr);
 }
 
 }  // namespace crowdjoin

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "simjoin/similarity_join.h"
+#include "simjoin/similarity_measure.h"
 #include "simjoin/token_dictionary.h"
 
 namespace crowdjoin {
@@ -25,7 +27,7 @@ struct ShardedJoinOptions {
   int num_threads = 0;
 };
 
-/// \brief Sharded, pool-parallel set-similarity self-join with streaming
+/// \brief Sharded, pool-parallel similarity self-join with streaming
 /// ingestion — the scale path of the machine step.
 ///
 /// Documents are `Add`ed one at a time (round-robin across shards, O(1)
@@ -35,12 +37,17 @@ struct ShardedJoinOptions {
 /// across the pool, and merges the per-task outputs into one
 /// (left, right)-sorted result.
 ///
-/// Determinism contract: the returned pairs are **byte-identical** to
-/// `PrefixFilterSelfJoin` over the same documents — same pair set, same
-/// scores, same order — for every shard count and thread count, including
-/// the inline (0-thread) pool. Each qualifying pair is produced by exactly
-/// one task and verified with the same exact-Jaccard routine the
-/// sequential join uses.
+/// The join runs under any `SimilarityMeasure`; the measure-less overloads
+/// are the token-set Jaccard path. Measure documents (`Add(MeasureDoc)`)
+/// carry their signature tokens, measure size, and verification payload
+/// into the shard arenas.
+///
+/// Determinism contract: the returned pairs are **byte-identical** to the
+/// sequential join (`PrefixFilterSelfJoin` / `MeasureSelfJoin`) over the
+/// same documents — same pair set, same scores, same order — for every
+/// shard count and thread count, including the inline (0-thread) pool.
+/// Each qualifying pair is produced by exactly one task and verified with
+/// the same exact kernel the sequential join uses.
 ///
 /// A joiner may be `Finish`ed repeatedly (e.g. at several thresholds); the
 /// ingested documents are immutable once added. Not thread-safe for
@@ -51,26 +58,42 @@ class ShardedSelfJoiner {
 
   /// Ingests one document (deduplicated token ids, sorted ascending). The
   /// document's global id is its `Add` order, matching the doc indexing of
-  /// `PrefixFilterSelfJoin`.
+  /// `PrefixFilterSelfJoin`. Joins over documents added this way must use
+  /// the Jaccard measure (size = token count, no payload).
   void Add(const std::vector<int32_t>& doc);
+
+  /// Ingests one measure document (`SimilarityMeasure::MakeDoc`).
+  void Add(const MeasureDoc& doc);
 
   int64_t num_docs() const { return num_docs_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// Runs the join at `threshold` over everything added so far, fanning
-  /// work across `pool` (nullptr = inline). `dictionary` must contain
-  /// every token id that was added and be fully populated (frequencies
-  /// final), exactly as the sequential join requires.
+  /// Runs the Jaccard join at `threshold` over everything added so far,
+  /// fanning work across `pool` (nullptr = inline). `dictionary` must
+  /// contain every token id that was added and be fully populated
+  /// (frequencies final), exactly as the sequential join requires.
   Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
                                          double threshold,
                                          ThreadPool* pool) const;
 
-  /// Prepares the join (phase 1, fanned across `pool`) and returns a
-  /// cursor that drains the shard-vs-shard probe tasks incrementally —
+  /// Measure-generic `Finish`.
+  Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
+                                         const SimilarityMeasure& measure,
+                                         double threshold,
+                                         ThreadPool* pool) const;
+
+  /// Prepares the Jaccard join (phase 1, fanned across `pool`) and returns
+  /// a cursor that drains the shard-vs-shard probe tasks incrementally —
   /// the round-by-round feed of the streaming labeling path. The joiner
   /// and dictionary must outlive the cursor; `Finish` is equivalent to
   /// draining a fresh cursor in one batch.
   Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       double threshold,
+                                       ThreadPool* pool) const;
+
+  /// Measure-generic `MakeCursor`.
+  Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       const SimilarityMeasure& measure,
                                        double threshold,
                                        ThreadPool* pool) const;
 
@@ -83,9 +106,18 @@ class ShardedSelfJoiner {
     std::vector<int32_t> doc_ids;  ///< global ids, ingestion order
     std::vector<int32_t> tokens;   ///< concatenated sorted-unique token ids
     std::vector<int64_t> offsets = {0};  ///< doc d = tokens[offsets[d]..offsets[d+1])
+    std::vector<int32_t> sizes;    ///< per-doc measure size
+    std::vector<char> payloads;    ///< concatenated verification payloads
+    std::vector<int64_t> payload_offsets = {0};
 
-    void Append(int32_t global_id, const std::vector<int32_t>& doc);
+    void Append(int32_t global_id, const std::vector<int32_t>& doc,
+                int32_t size, std::string_view payload);
     size_t size() const { return doc_ids.size(); }
+    std::string_view payload(size_t d) const {
+      return std::string_view(
+          payloads.data() + payload_offsets[d],
+          static_cast<size_t>(payload_offsets[d + 1] - payload_offsets[d]));
+    }
   };
 
   /// Per-shard rank order + flat prefix postings, built in parallel by
@@ -93,13 +125,16 @@ class ShardedSelfJoiner {
   /// and shared across shards).
   struct Prepared;
 
-  static Prepared Prepare(const Shard& shard,
-                          const std::vector<int32_t>& ranks,
-                          double threshold, bool build_index);
-  static void ProbeTask(const Shard& target_raw, const Prepared& target,
-                        const Shard& probe_raw, const Prepared& probe,
-                        bool same_shard, bool bipartite_emit,
-                        double threshold, std::vector<ScoredPair>& out);
+  template <typename Policy>
+  static Prepared PrepareT(const Policy& policy, const Shard& shard,
+                           const std::vector<int32_t>& ranks,
+                           double threshold, bool build_index);
+  template <typename Policy>
+  static void ProbeTaskT(const Policy& policy, const Shard& target_raw,
+                         const Prepared& target, const Shard& probe_raw,
+                         const Prepared& probe, bool same_shard,
+                         bool bipartite_emit, double threshold,
+                         std::vector<ScoredPair>& out);
 
   std::vector<Shard> shards_;
   int64_t num_docs_ = 0;
@@ -107,8 +142,8 @@ class ShardedSelfJoiner {
 
 /// \brief Bipartite (cross-catalog) variant: left and right documents are
 /// ingested separately; every left-shard x right-shard pairing becomes one
-/// probe task. Output is byte-identical to `PrefixFilterBipartiteJoin` at
-/// every shard and thread count.
+/// probe task. Output is byte-identical to the sequential bipartite join
+/// at every shard and thread count, for every measure.
 class ShardedBipartiteJoiner {
  public:
   explicit ShardedBipartiteJoiner(int num_shards = 0);
@@ -117,6 +152,8 @@ class ShardedBipartiteJoiner {
   /// the ingestion order, matching `PrefixFilterBipartiteJoin` indexing.
   void AddLeft(const std::vector<int32_t>& doc);
   void AddRight(const std::vector<int32_t>& doc);
+  void AddLeft(const MeasureDoc& doc);
+  void AddRight(const MeasureDoc& doc);
 
   int64_t num_left() const { return left_.num_docs(); }
   int64_t num_right() const { return right_.num_docs(); }
@@ -124,9 +161,17 @@ class ShardedBipartiteJoiner {
   Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
                                          double threshold,
                                          ThreadPool* pool) const;
+  Result<std::vector<ScoredPair>> Finish(const TokenDictionary& dictionary,
+                                         const SimilarityMeasure& measure,
+                                         double threshold,
+                                         ThreadPool* pool) const;
 
   /// Bipartite counterpart of `ShardedSelfJoiner::MakeCursor`.
   Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       double threshold,
+                                       ThreadPool* pool) const;
+  Result<ShardedJoinCursor> MakeCursor(const TokenDictionary& dictionary,
+                                       const SimilarityMeasure& measure,
                                        double threshold,
                                        ThreadPool* pool) const;
 
@@ -174,19 +219,33 @@ class ShardedJoinCursor {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Convenience wrapper: sharded self-join over an in-memory corpus. Owns a
-/// pool of `options.num_threads` workers for the duration of the call.
+/// Convenience wrapper: sharded Jaccard self-join over an in-memory
+/// corpus. Owns a pool of `options.num_threads` workers for the duration
+/// of the call.
 Result<std::vector<ScoredPair>> ShardedSelfJoin(
     const std::vector<std::vector<int32_t>>& docs,
     const TokenDictionary& dictionary, double threshold,
     const ShardedJoinOptions& options);
 
-/// Convenience wrapper: sharded bipartite join over in-memory collections.
+/// Convenience wrapper: sharded Jaccard bipartite join over in-memory
+/// collections.
 Result<std::vector<ScoredPair>> ShardedBipartiteJoin(
     const std::vector<std::vector<int32_t>>& left,
     const std::vector<std::vector<int32_t>>& right,
     const TokenDictionary& dictionary, double threshold,
     const ShardedJoinOptions& options);
+
+/// Convenience wrapper: sharded measure self-join over measure documents.
+Result<std::vector<ScoredPair>> ShardedMeasureSelfJoin(
+    const std::vector<MeasureDoc>& docs, const TokenDictionary& dictionary,
+    const SimilarityMeasure& measure, double threshold,
+    const ShardedJoinOptions& options);
+
+/// Convenience wrapper: sharded measure bipartite join.
+Result<std::vector<ScoredPair>> ShardedMeasureBipartiteJoin(
+    const std::vector<MeasureDoc>& left, const std::vector<MeasureDoc>& right,
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold, const ShardedJoinOptions& options);
 
 }  // namespace crowdjoin
 

@@ -6,11 +6,12 @@
 #include <vector>
 
 #include "common/result.h"
+#include "simjoin/similarity_measure.h"
 #include "simjoin/token_dictionary.h"
 
 namespace crowdjoin {
 
-/// One joined pair with its exact (token-set Jaccard) similarity.
+/// One joined pair with its exact similarity under the join's measure.
 struct ScoredPair {
   int32_t left = 0;   ///< index into the left/only document collection
   int32_t right = 0;  ///< index into the right collection (self-join: left<right)
@@ -51,6 +52,25 @@ Result<std::vector<ScoredPair>> PrefixFilterBipartiteJoin(
     const std::vector<std::vector<int32_t>>& right,
     const TokenDictionary& dictionary, double threshold);
 
+/// \brief Measure-generic self-join: all pairs (i < j) of documents with
+/// `measure` similarity >= threshold, through the same filter-verify
+/// pipeline the Jaccard join runs.
+///
+/// `docs` come from `measure.MakeDoc` against `dictionary`. Under the
+/// Jaccard measure this is `PrefixFilterSelfJoin` exactly — same
+/// operations, byte-identical output. Documents with empty signatures
+/// join nothing (the shared empty-doc contract).
+Result<std::vector<ScoredPair>> MeasureSelfJoin(
+    const std::vector<MeasureDoc>& docs, const TokenDictionary& dictionary,
+    const SimilarityMeasure& measure, double threshold);
+
+/// Measure-generic bipartite join across two collections built against
+/// one shared dictionary.
+Result<std::vector<ScoredPair>> MeasureBipartiteJoin(
+    const std::vector<MeasureDoc>& left, const std::vector<MeasureDoc>& right,
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold);
+
 /// Brute-force reference self-join (exact, O(n^2) verifications).
 std::vector<ScoredPair> BruteForceSelfJoin(
     const std::vector<std::vector<int32_t>>& docs, double threshold);
@@ -59,6 +79,19 @@ std::vector<ScoredPair> BruteForceSelfJoin(
 std::vector<ScoredPair> BruteForceBipartiteJoin(
     const std::vector<std::vector<int32_t>>& left,
     const std::vector<std::vector<int32_t>>& right, double threshold);
+
+/// Measure-generic brute-force reference self-join: every pair scored with
+/// the measure's exact kernel, empty-signature documents excluded — the
+/// oracle the measure equivalence suites pin the filtered joins against.
+std::vector<ScoredPair> BruteForceMeasureSelfJoin(
+    const std::vector<MeasureDoc>& docs, const TokenDictionary& dictionary,
+    const SimilarityMeasure& measure, double threshold);
+
+/// Measure-generic brute-force reference bipartite join.
+std::vector<ScoredPair> BruteForceMeasureBipartiteJoin(
+    const std::vector<MeasureDoc>& left, const std::vector<MeasureDoc>& right,
+    const TokenDictionary& dictionary, const SimilarityMeasure& measure,
+    double threshold);
 
 }  // namespace crowdjoin
 

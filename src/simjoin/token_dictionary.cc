@@ -17,6 +17,7 @@ std::vector<int32_t> TokenDictionary::AddDocument(
     const std::vector<std::string>& tokens) {
   std::vector<int32_t> doc = Encode(tokens);
   for (int32_t id : doc) ++frequency_[static_cast<size_t>(id)];
+  ++num_documents_;
   return doc;
 }
 

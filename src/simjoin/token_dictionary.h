@@ -54,11 +54,17 @@ class TokenDictionary {
   /// Number of distinct tokens interned.
   size_t size() const { return frequency_.size(); }
 
+  /// Number of `AddDocument` calls — the corpus size N behind idf-style
+  /// weights (the cosine measure's `log(1 + N / (1 + df))`). `Encode`
+  /// does not count, matching its no-frequency contract.
+  int64_t num_documents() const { return num_documents_; }
+
  private:
   int32_t Intern(const std::string& token);
 
   std::unordered_map<std::string, int32_t> ids_;
   std::vector<int64_t> frequency_;
+  int64_t num_documents_ = 0;
 };
 
 }  // namespace crowdjoin

@@ -25,6 +25,46 @@ size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   return row[b.size()];
 }
 
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (a.size() - b.size() > max_dist) return max_dist + 1;
+  if (b.empty()) return a.size();  // <= max_dist by the size check above
+  const size_t k = max_dist;
+  const size_t m = b.size();
+  const size_t inf = k + 1;  // any band-exterior cell is at least this
+  std::vector<size_t> row(m + 1, inf);
+  for (size_t j = 0; j <= std::min(m, k); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    const size_t lo = i > k ? i - k : 1;
+    const size_t hi = std::min(m, i + k);
+    // Entering the loop, row[] holds D[i-1][*] within row i-1's band and
+    // `inf` outside it; `diag`/`left` walk D[i-1][j-1] and D[i][j-1].
+    size_t diag = row[lo - 1];
+    size_t left = inf;
+    if (lo == 1) {
+      left = i <= k ? i : inf;  // D[i][0] = i, valid only inside the band
+      row[0] = left;
+    } else {
+      row[lo - 1] = inf;  // left band edge fell off this row
+    }
+    size_t best = inf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const size_t up = row[j];
+      size_t value = std::min(
+          {left + 1, up + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      if (value > inf) value = inf;
+      row[j] = value;
+      left = value;
+      diag = up;
+      best = std::min(best, value);
+    }
+    if (hi < m) row[hi + 1] = inf;  // right band edge for the next row
+    if (best >= inf) return inf;    // the whole band exceeded the bound
+  }
+  return row[m];
+}
+
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
   const size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return 1.0;

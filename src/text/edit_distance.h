@@ -10,6 +10,19 @@ namespace crowdjoin {
 /// O(|a| * |b|) time, O(min(|a|, |b|)) space.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
 
+/// \brief Banded Levenshtein: the exact distance when it is <= `max_dist`,
+/// otherwise some value > `max_dist` (callers must only compare against
+/// the bound, not interpret the overshoot).
+///
+/// Only the diagonal band |i - j| <= max_dist of the DP matrix is
+/// evaluated — every cell outside it costs more than `max_dist` by
+/// construction — so time is O(max(|a|, |b|) * min(|b|, 2 * max_dist + 1))
+/// and the scan exits early once an entire row exceeds the bound. This is
+/// the verification kernel of the edit-distance similarity join, where
+/// `max_dist` comes from the join threshold and candidate sizes.
+size_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                          size_t max_dist);
+
 /// 1 - distance / max(|a|, |b|); 1.0 for two empty strings.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "common/rng.h"
+
 namespace crowdjoin {
 namespace {
 
@@ -25,6 +29,60 @@ TEST(LevenshteinSimilarity, NormalizedToUnitInterval) {
   EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
   EXPECT_NEAR(LevenshteinSimilarity("kitten", "sitting"), 1.0 - 3.0 / 7.0,
               1e-12);
+}
+
+TEST(BoundedLevenshtein, ExactWhenWithinBound) {
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedLevenshtein("kitten", "sitting", 10), 3u);
+  EXPECT_EQ(BoundedLevenshtein("flaw", "lawn", 2), 2u);
+}
+
+TEST(BoundedLevenshtein, ExceedsBoundReturnsGreaterThanBound) {
+  EXPECT_GT(BoundedLevenshtein("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedLevenshtein("abcdef", "uvwxyz", 5), 5u);
+}
+
+TEST(BoundedLevenshtein, LengthDifferenceRejectsWithoutDp) {
+  // |len(a) - len(b)| alone exceeds the budget: the band never opens.
+  EXPECT_GT(BoundedLevenshtein("a", "abcdefgh", 3), 3u);
+  EXPECT_GT(BoundedLevenshtein("abcdefgh", "", 7), 7u);
+}
+
+TEST(BoundedLevenshtein, EmptyAndEqualStrings) {
+  EXPECT_EQ(BoundedLevenshtein("", "", 0), 0u);
+  EXPECT_EQ(BoundedLevenshtein("same", "same", 0), 0u);
+  EXPECT_EQ(BoundedLevenshtein("abc", "", 3), 3u);
+  EXPECT_EQ(BoundedLevenshtein("", "abc", 5), 3u);
+}
+
+TEST(BoundedLevenshtein, DisjointAlphabets) {
+  EXPECT_EQ(BoundedLevenshtein("aaaa", "bbbb", 4), 4u);
+  EXPECT_GT(BoundedLevenshtein("aaaa", "bbbb", 3), 3u);
+}
+
+TEST(BoundedLevenshtein, ZeroBudgetMeansExactEqualityCheck) {
+  EXPECT_EQ(BoundedLevenshtein("abc", "abc", 0), 0u);
+  EXPECT_GT(BoundedLevenshtein("abc", "abd", 0), 0u);
+}
+
+TEST(BoundedLevenshtein, AgreesWithUnboundedOnRandomStrings) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string a, b;
+    const size_t la = rng.Index(12);
+    const size_t lb = rng.Index(12);
+    for (size_t i = 0; i < la; ++i) a += static_cast<char>('a' + rng.Index(4));
+    for (size_t i = 0; i < lb; ++i) b += static_cast<char>('a' + rng.Index(4));
+    const size_t exact = LevenshteinDistance(a, b);
+    for (size_t bound = 0; bound <= 12; ++bound) {
+      const size_t banded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(banded, exact) << "a=" << a << " b=" << b << " k=" << bound;
+      } else {
+        EXPECT_GT(banded, bound) << "a=" << a << " b=" << b << " k=" << bound;
+      }
+    }
+  }
 }
 
 TEST(JaroSimilarity, ClassicPairs) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace crowdjoin {
 namespace {
 
@@ -50,6 +52,24 @@ TEST(TfIdfModel, RareSharedTokenDominates) {
   const double common_pair =
       model.Cosine({"common", "rareword"}, {"common", "other"});
   EXPECT_GT(rare_pair, common_pair);
+}
+
+TEST(TfIdfModel, CosineIsNormalizedToOneForProportionalDocs) {
+  // Self-similarity is exactly 1 regardless of the idf weights, and
+  // scaling every term frequency by the same factor changes nothing —
+  // the norms divide the weights back out.
+  const TfIdfModel model = TfIdfModel::Fit({{"a", "b"}, {"b", "c"}, {"d"}});
+  EXPECT_NEAR(model.Cosine({"a", "b", "d"}, {"a", "b", "d"}), 1.0, 1e-12);
+  EXPECT_NEAR(model.Cosine({"a", "b"}, {"a", "a", "b", "b"}), 1.0, 1e-12);
+}
+
+TEST(TfIdfModel, ZeroNormGuardReturnsZeroNotNaN) {
+  // A model fit on an empty corpus gives every token idf log(1 + 0/1) = 0,
+  // so both vectors have zero norm; the guard must return 0, not 0/0.
+  const TfIdfModel empty_corpus = TfIdfModel::Fit({});
+  const double score = empty_corpus.Cosine({"a"}, {"a"});
+  EXPECT_FALSE(std::isnan(score));
+  EXPECT_DOUBLE_EQ(score, 0.0);
 }
 
 TEST(TfIdfModel, DuplicateTokensCountOncePerDocumentForIdf) {

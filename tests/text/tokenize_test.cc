@@ -39,6 +39,19 @@ TEST(QGrams, ShortStringStillProducesGrams) {
             (std::vector<std::string>{"$$x", "$x$", "x$$"}));
 }
 
+// The empty-document contract every similarity measure honors: empty and
+// whitespace-only texts produce NO tokens and NO grams, so such documents
+// get an empty signature and never pair with anything (not even each
+// other) in any join path. Asserted once here; the measure equivalence
+// suite exercises the joins' side of the bargain.
+TEST(EmptyTextContract, WhitespaceOnlyYieldsNoTokensOrGrams) {
+  for (const char* text : {"", " ", "  \t  ", "\n\t \r\n"}) {
+    EXPECT_TRUE(WordTokens(text).empty()) << "text=" << text;
+    EXPECT_TRUE(QGrams(text, 2).empty()) << "text=" << text;
+    EXPECT_TRUE(QGrams(text, 3).empty()) << "text=" << text;
+  }
+}
+
 TEST(SortUnique, SortsAndDeduplicates) {
   std::vector<std::string> tokens = {"b", "a", "b", "c", "a"};
   SortUnique(tokens);
