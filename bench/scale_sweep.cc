@@ -16,7 +16,6 @@
 #include <sys/resource.h>
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -31,13 +30,6 @@ long PeakRssMiB() {
   struct rusage usage;
   getrusage(RUSAGE_SELF, &usage);
   return usage.ru_maxrss / 1024;  // ru_maxrss is KiB on Linux
-}
-
-bool HasFlag(int argc, char** argv, const char* flag) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, std::strlen(flag)) == 0) return true;
-  }
-  return false;
 }
 
 }  // namespace
@@ -62,7 +54,7 @@ int main(int argc, char** argv) {
   // set is never materialized (LabelingSession::RunStream).
   const auto label_tasks_per_round =
       static_cast<int64_t>(args.GetUint64("label_tasks_per_round", 0));
-  const bool product = HasFlag(argc, argv, "--dataset=product");
+  const bool product = args.GetString("dataset", "paper") == "product";
   // Similarity measure the machine step joins under: jaccard (default),
   // edit, or cosine.
   const MeasureKind measure =
@@ -72,6 +64,7 @@ int main(int argc, char** argv) {
   // that makes near-duplicates diverge at the token level (where the edit
   // measure still matches them) without rewriting the dataset config.
   const double typo = args.GetDouble("typo", -1.0);
+  args.Done();
 
   std::printf(
       "=== scale_sweep: dataset=%s scale=%d threads=%d shards=%d "

@@ -1,0 +1,156 @@
+// Always-on entity-resolution serving driver: one writer thread ingests a
+// streamed corpus record by record — labeling each ingest's undecided
+// candidates against ground truth, the way a crowd would answer them — while
+// N reader threads concurrently answer candidate queries and cluster
+// lookups from published graph snapshots.
+//
+// Reports sustained ingest/sec (writer) and queries/sec (all readers), plus
+// corpus totals that are deterministic at any --readers value (readers
+// never touch writer-side state):
+//
+//   --expect_candidates=N   total candidates over all ingests (0 = don't check)
+//   --expect_clusters=N     final cluster count            (0 = don't check)
+//
+// CI pins both on the SF 1 corpus; the TSan job runs the same invocation
+// under -fsanitize=thread to prove the reader/writer protocol clean.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "datagen/streaming_generator.h"
+#include "serve/resolution_service.h"
+
+int main(int argc, char** argv) {
+  using namespace crowdjoin;
+  const bench::Args args(argc, argv);
+  const auto scale = static_cast<int32_t>(args.GetUint64("scale", 1));
+  const int num_readers = static_cast<int>(args.GetUint64("readers", 2));
+  const double threshold = args.GetDouble("threshold", 0.5);
+  const auto top_k = static_cast<int32_t>(args.GetUint64("top_k", 10));
+  const uint64_t seed = args.GetUint64("seed", 42);
+  const uint64_t expect_candidates = args.GetUint64("expect_candidates", 0);
+  const uint64_t expect_clusters = args.GetUint64("expect_clusters", 0);
+  args.Done();
+
+  // Materialize the corpus up front so the timed section measures the
+  // service, not the generator.
+  PaperDatasetConfig config;
+  config.seed = seed;
+  StreamingPaperSource source(config, scale);
+  std::vector<std::string> texts;
+  std::vector<int32_t> entities;
+  StreamedRecord streamed;
+  while (source.Next(&streamed)) {
+    std::string text;
+    for (const auto& field : streamed.record.fields) {
+      text += field;
+      text += ' ';
+    }
+    texts.push_back(std::move(text));
+    entities.push_back(streamed.entity);
+  }
+  bench::CheckOk(source.status());
+  const size_t num_records = texts.size();
+
+  ResolutionServiceOptions options;
+  options.threshold = threshold;
+  options.top_k = top_k;
+  ResolutionService service(options);
+
+  std::printf("=== serve_driver: scale=%d records=%zu readers=%d "
+              "threshold=%.2f top_k=%d ===\n",
+              scale, num_records, num_readers, threshold, top_k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> total_queries{0};
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(num_readers));
+  for (int t = 0; t < num_readers; ++t) {
+    readers.emplace_back([&, t] {
+      // Each reader walks the corpus at its own offset so concurrent
+      // queries hit different postings lists and clusters.
+      int64_t queries = 0;
+      size_t pos = num_records == 0
+                       ? 0
+                       : (static_cast<size_t>(t) * num_records) /
+                             static_cast<size_t>(num_readers);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& text = texts[pos];
+        const std::vector<ServeCandidate> candidates =
+            service.QueryCandidates(text);
+        for (const ServeCandidate& c : candidates) {
+          // Exercise the snapshot read path readers exist for.
+          (void)service.ResolveCluster(c.id);
+        }
+        ++queries;
+        pos = pos + 1 == num_records ? 0 : pos + 1;
+      }
+      total_queries.fetch_add(queries, std::memory_order_relaxed);
+    });
+  }
+
+  // Writer: ingest everything, answering each ingest's still-undecided
+  // candidate pairs from ground truth (entity ids). Transitivity makes
+  // most later questions free — the paper's effect, live.
+  WallTimer timer;
+  int64_t total_candidates = 0;
+  int64_t total_labels = 0;
+  for (size_t i = 0; i < num_records; ++i) {
+    const IngestResult result = service.Ingest(texts[i]);
+    total_candidates += static_cast<int64_t>(result.candidates.size());
+    for (const ServeCandidate& c : result.candidates) {
+      if (service.DeducePair(result.id, c.id) != Deduction::kUndeduced) {
+        continue;  // transitivity already answered this pair
+      }
+      const Label label = entities[static_cast<size_t>(result.id)] ==
+                                  entities[static_cast<size_t>(c.id)]
+                              ? Label::kMatching
+                              : Label::kNonMatching;
+      service.OnPairLabeled(result.id, c.id, label);
+      ++total_labels;
+    }
+  }
+  const double ingest_seconds = timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+  const double total_seconds = timer.ElapsedSeconds();
+
+  const ServeStats stats = service.Stats();
+  std::printf("ingested %zu records in %.3fs (%.0f records/sec)\n",
+              num_records, ingest_seconds,
+              ingest_seconds > 0 ? static_cast<double>(num_records) /
+                                       ingest_seconds
+                                 : 0.0);
+  std::printf("readers answered %lld queries in %.3fs (%.0f queries/sec)\n",
+              static_cast<long long>(total_queries.load()), total_seconds,
+              total_seconds > 0
+                  ? static_cast<double>(total_queries.load()) / total_seconds
+                  : 0.0);
+  std::printf("candidates=%lld labels=%lld clusters=%d conflicts=%lld "
+              "epoch=%lld\n",
+              static_cast<long long>(total_candidates),
+              static_cast<long long>(total_labels), stats.num_clusters,
+              static_cast<long long>(stats.num_conflicts),
+              static_cast<long long>(stats.epoch));
+
+  if (expect_candidates != 0 &&
+      static_cast<uint64_t>(total_candidates) != expect_candidates) {
+    std::fprintf(stderr, "FATAL: expected %llu candidates, got %lld\n",
+                 static_cast<unsigned long long>(expect_candidates),
+                 static_cast<long long>(total_candidates));
+    return 1;
+  }
+  if (expect_clusters != 0 &&
+      static_cast<uint64_t>(stats.num_clusters) != expect_clusters) {
+    std::fprintf(stderr, "FATAL: expected %llu clusters, got %d\n",
+                 static_cast<unsigned long long>(expect_clusters),
+                 stats.num_clusters);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include "common/macros.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "graph/overlay_graph.h"
 
 namespace crowdjoin {
 
@@ -147,15 +148,18 @@ Status ValidateOrder(const std::vector<int32_t>& order, size_t n) {
   return Status::OK();
 }
 
-std::vector<int32_t> ParallelCrowdsourcedPairs(
-    const CandidateSet& pairs, const std::vector<int32_t>& order,
+namespace {
+
+// The Algorithm-3 ordered scan over any graph with ClusterGraph's
+// Add/Deduce surface (a real ClusterGraph, or an O(1) overlay on a
+// snapshot of one).
+template <typename Graph>
+std::vector<int32_t> ScanPublish(
+    Graph& graph, const CandidateSet& pairs,
+    const std::vector<int32_t>& order,
     const std::vector<std::optional<Label>>& labels_by_pos,
-    const std::vector<bool>* exclude_from_output, ConflictPolicy policy,
-    const ClusterGraph* base_graph) {
+    const std::vector<bool>* exclude_from_output) {
   std::vector<int32_t> publish;
-  ClusterGraph graph = base_graph != nullptr
-                           ? *base_graph
-                           : ClusterGraph(NumObjectsSpanned(pairs), policy);
   for (int32_t pos : order) {
     const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
     const std::optional<Label>& label = labels_by_pos[static_cast<size_t>(pos)];
@@ -175,6 +179,109 @@ std::vector<int32_t> ParallelCrowdsourcedPairs(
     // already implied by the graph or contradicts the assumption).
   }
   return publish;
+}
+
+// The Algorithm-2 round loop, generic over how each scan obtains its
+// graph: `make_graph()` builds a fresh value per scan — a ClusterGraph
+// for materialized runs (`fresh_graphs`), or an OverlayClusterGraph over
+// the persistent graph's snapshot for streaming rounds.
+template <typename MakeGraph>
+Status RunRoundsImpl(const CandidateSet& pairs,
+                     const std::vector<int32_t>& order,
+                     const BatchLabelFn& label_batch, bool fresh_graphs,
+                     const MakeGraph& make_graph, int64_t& remaining_budget,
+                     size_t report_offset, LabelingReport& report) {
+  const size_t n = pairs.size();
+  std::vector<std::optional<Label>> labels(n);
+  size_t num_labeled = 0;
+
+  while (num_labeled < n) {
+    // Identify and "publish" this round's batch (Algorithm 2, line 4).
+    std::vector<int32_t> batch;
+    {
+      auto graph = make_graph();
+      batch = ScanPublish(graph, pairs, order, labels,
+                          /*exclude_from_output=*/nullptr);
+    }
+    // Without outside knowledge, undeduced pairs always remain publishable;
+    // a seeded scan (earlier streaming rounds) can make a whole batch
+    // deducible before any money is spent.
+    if (fresh_graphs) CJ_CHECK(!batch.empty());
+    std::vector<int32_t> publish = batch;
+    if (remaining_budget >= 0 &&
+        static_cast<int64_t>(publish.size()) > remaining_budget) {
+      publish.resize(static_cast<size_t>(remaining_budget));
+    }
+
+    if (!publish.empty()) {
+      // Crowdsource all batch pairs "simultaneously" (line 5), then merge
+      // the answers back by batch position on this thread — the step that
+      // makes the result independent of how the source resolved them.
+      CJ_ASSIGN_OR_RETURN(const std::vector<Label> batch_labels,
+                          label_batch(publish));
+      CJ_CHECK(batch_labels.size() == publish.size());
+      for (size_t i = 0; i < publish.size(); ++i) {
+        const int32_t pos = publish[i];
+        labels[static_cast<size_t>(pos)] = batch_labels[i];
+        report.outcomes[report_offset + static_cast<size_t>(pos)] =
+            PairOutcome{batch_labels[i], LabelSource::kCrowdsourced};
+        ++report.num_crowdsourced;
+        ++num_labeled;
+      }
+      if (remaining_budget > 0) {
+        remaining_budget -= static_cast<int64_t>(publish.size());
+      }
+      report.crowdsourced_per_iteration.push_back(
+          static_cast<int64_t>(publish.size()));
+    }
+
+    // Deduce every pair that became deducible from its prefix of labeled
+    // pairs (lines 6-8): one ordered scan, cascading deductions.
+    size_t scan_deduced = 0;
+    auto graph = make_graph();
+    for (int32_t pos : order) {
+      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+      auto& label = labels[static_cast<size_t>(pos)];
+      if (label.has_value()) {
+        graph.Add(pair.a, pair.b, *label);
+        continue;
+      }
+      const Deduction deduction = graph.Deduce(pair.a, pair.b);
+      if (deduction != Deduction::kUndeduced) {
+        label = DeductionToLabel(deduction);
+        report.outcomes[report_offset + static_cast<size_t>(pos)] =
+            PairOutcome{*label, LabelSource::kDeduced};
+        ++report.num_deduced;
+        ++num_labeled;
+        ++scan_deduced;
+        // The deduced label is already implied by the graph: no Add needed.
+      }
+    }
+    report.num_conflicts = graph.num_conflicts();
+
+    if (publish.empty() && scan_deduced == 0) {
+      // No batch was affordable and nothing came free: everything left is
+      // out of the budget's reach (the unbounded invariant above proves
+      // this branch needs an exhausted budget).
+      CJ_CHECK(remaining_budget == 0);
+      break;
+    }
+  }
+  report.num_unlabeled += static_cast<int64_t>(n - num_labeled);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<int32_t> ParallelCrowdsourcedPairs(
+    const CandidateSet& pairs, const std::vector<int32_t>& order,
+    const std::vector<std::optional<Label>>& labels_by_pos,
+    const std::vector<bool>* exclude_from_output, ConflictPolicy policy,
+    const ClusterGraph* base_graph) {
+  ClusterGraph graph = base_graph != nullptr
+                           ? *base_graph
+                           : ClusterGraph(NumObjectsSpanned(pairs), policy);
+  return ScanPublish(graph, pairs, order, labels_by_pos, exclude_from_output);
 }
 
 // ---------------------------------------------------------------------------
@@ -324,87 +431,23 @@ Status LabelingSession::RunRoundsOver(const CandidateSet& pairs,
                                       const std::vector<int32_t>& order,
                                       const BatchLabelFn& label_batch,
                                       ConflictPolicy policy,
-                                      const ClusterGraph* base_graph,
+                                      const ClusterGraphSnapshot* base,
                                       size_t report_offset,
                                       LabelingReport& report) {
-  const size_t n = pairs.size();
-  const int32_t num_objects = NumObjectsSpanned(pairs);
-  std::vector<std::optional<Label>> labels(n);
-  size_t num_labeled = 0;
-
-  while (num_labeled < n) {
-    // Identify and "publish" this round's batch (Algorithm 2, line 4).
-    const std::vector<int32_t> batch = ParallelCrowdsourcedPairs(
-        pairs, order, labels, /*exclude_from_output=*/nullptr, policy,
-        base_graph);
-    // Without outside knowledge, undeduced pairs always remain publishable;
-    // a base graph (earlier streaming rounds) can make a whole batch
-    // deducible before any money is spent.
-    if (base_graph == nullptr) CJ_CHECK(!batch.empty());
-    std::vector<int32_t> publish = batch;
-    if (remaining_budget_ >= 0 &&
-        static_cast<int64_t>(publish.size()) > remaining_budget_) {
-      publish.resize(static_cast<size_t>(remaining_budget_));
-    }
-
-    if (!publish.empty()) {
-      // Crowdsource all batch pairs "simultaneously" (line 5), then merge
-      // the answers back by batch position on this thread — the step that
-      // makes the result independent of how the source resolved them.
-      CJ_ASSIGN_OR_RETURN(const std::vector<Label> batch_labels,
-                          label_batch(publish));
-      CJ_CHECK(batch_labels.size() == publish.size());
-      for (size_t i = 0; i < publish.size(); ++i) {
-        const int32_t pos = publish[i];
-        labels[static_cast<size_t>(pos)] = batch_labels[i];
-        report.outcomes[report_offset + static_cast<size_t>(pos)] =
-            PairOutcome{batch_labels[i], LabelSource::kCrowdsourced};
-        ++report.num_crowdsourced;
-        ++num_labeled;
-      }
-      if (remaining_budget_ > 0) {
-        remaining_budget_ -= static_cast<int64_t>(publish.size());
-      }
-      report.crowdsourced_per_iteration.push_back(
-          static_cast<int64_t>(publish.size()));
-    }
-
-    // Deduce every pair that became deducible from its prefix of labeled
-    // pairs (lines 6-8): one ordered scan, cascading deductions.
-    size_t scan_deduced = 0;
-    ClusterGraph graph = base_graph != nullptr
-                             ? *base_graph
-                             : ClusterGraph(num_objects, policy);
-    for (int32_t pos : order) {
-      const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
-      auto& label = labels[static_cast<size_t>(pos)];
-      if (label.has_value()) {
-        graph.Add(pair.a, pair.b, *label);
-        continue;
-      }
-      const Deduction deduction = graph.Deduce(pair.a, pair.b);
-      if (deduction != Deduction::kUndeduced) {
-        label = DeductionToLabel(deduction);
-        report.outcomes[report_offset + static_cast<size_t>(pos)] =
-            PairOutcome{*label, LabelSource::kDeduced};
-        ++report.num_deduced;
-        ++num_labeled;
-        ++scan_deduced;
-        // The deduced label is already implied by the graph: no Add needed.
-      }
-    }
-    report.num_conflicts = graph.num_conflicts();
-
-    if (publish.empty() && scan_deduced == 0) {
-      // No batch was affordable and nothing came free: everything left is
-      // out of the budget's reach (the unbounded invariant above proves
-      // this branch needs an exhausted budget).
-      CJ_CHECK(remaining_budget_ == 0);
-      break;
-    }
+  if (base != nullptr) {
+    // Streaming round seeded by the persistent graph: each scan reads the
+    // epoch snapshot through a fresh O(1) overlay instead of copying the
+    // whole graph, so per-round cost tracks round size, not total objects.
+    return RunRoundsImpl(
+        pairs, order, label_batch, /*fresh_graphs=*/false,
+        [&] { return OverlayClusterGraph(base, policy); }, remaining_budget_,
+        report_offset, report);
   }
-  report.num_unlabeled += static_cast<int64_t>(n - num_labeled);
-  return Status::OK();
+  const int32_t num_objects = NumObjectsSpanned(pairs);
+  return RunRoundsImpl(
+      pairs, order, label_batch, /*fresh_graphs=*/true,
+      [&] { return ClusterGraph(num_objects, policy); }, remaining_budget_,
+      report_offset, report);
 }
 
 Result<LabelingReport> LabelingSession::RunRoundsWithOracle(
@@ -435,7 +478,7 @@ Result<LabelingReport> LabelingSession::RunRoundsWithOracle(
         });
   };
   CJ_RETURN_IF_ERROR(RunRoundsOver(pairs, order, batch_fn, policy,
-                                   /*base_graph=*/nullptr,
+                                   /*base=*/nullptr,
                                    /*report_offset=*/0, report));
   return report;
 }
@@ -456,7 +499,7 @@ Result<LabelingReport> LabelingSession::RunWithBatchSource(
   report.num_candidates = static_cast<int64_t>(pairs.size());
   report.num_stream_rounds = 1;
   CJ_RETURN_IF_ERROR(RunRoundsOver(pairs, order, label_batch, policy,
-                                   /*base_graph=*/nullptr,
+                                   /*base=*/nullptr,
                                    /*report_offset=*/0, report));
   return report;
 }
@@ -509,12 +552,14 @@ Result<LabelingReport> LabelingSession::RunStream(
     // Round-parallel: the persistent graph seeds every scan, and the
     // round's crowd answers are folded back in afterwards. Deduced labels
     // need no fold — they are implied by the graph that produced them.
-    // Each Algorithm-2 iteration copies the persistent graph twice
-    // (publish scan + deduction scan): the prefix-based scan semantics
-    // that keep a one-round stream byte-identical to the materialized run
-    // rule out scanning the persistent graph in place, so the copy cost
-    // grows with total objects seen, not round size (fine up to ~1M
-    // records; the ROADMAP tracks cheapening it beyond that).
+    // The prefix-based scan semantics that keep a one-round stream
+    // byte-identical to the materialized run rule out scanning the
+    // persistent graph in place, so each Algorithm-2 iteration used to
+    // copy it twice (publish scan + deduction scan) — O(total objects
+    // seen) per round. Scans now read a published epoch snapshot through
+    // a fresh OverlayClusterGraph, making per-scan setup O(1) and scan
+    // work proportional to the round, while the snapshot isolates them
+    // from the fold-back mutations below.
     const BatchLabelFn batch_fn =
         [&](const std::vector<int32_t>& batch) -> Result<std::vector<Label>> {
       return ParallelMap(
@@ -525,8 +570,11 @@ Result<LabelingReport> LabelingSession::RunStream(
             return oracle.GetLabel(pair.a, pair.b);
           });
     };
-    CJ_RETURN_IF_ERROR(RunRoundsOver(round, order, batch_fn, policy,
-                                     &transitive->graph(), offset, report));
+    const ClusterGraphSnapshot snapshot =
+        transitive->mutable_graph().Snapshot();
+    CJ_RETURN_IF_ERROR(
+        RunRoundsOver(round, order, batch_fn, policy, &snapshot, offset,
+                      report));
     for (int32_t pos : order) {
       const std::optional<PairOutcome>& outcome =
           report.outcomes[offset + static_cast<size_t>(pos)];

@@ -330,14 +330,14 @@ class LabelingSession {
   // the outcome at `report.outcomes[report_pos]`.
   void LabelOnePair(const CandidatePair& pair, size_t report_pos,
                     LabelOracle& oracle, LabelingReport& report);
-  // Round-parallel engine over one candidate window. `base_graph` seeds
-  // every scan with prior knowledge (null = fresh graphs, the legacy
-  // materialized behavior); `report_offset` maps window positions into the
-  // report.
+  // Round-parallel engine over one candidate window. `base` seeds every
+  // scan with prior knowledge as an epoch snapshot read through an
+  // O(round) overlay (null = fresh graphs, the legacy materialized
+  // behavior); `report_offset` maps window positions into the report.
   Status RunRoundsOver(const CandidateSet& pairs,
                        const std::vector<int32_t>& order,
                        const BatchLabelFn& label_batch, ConflictPolicy policy,
-                       const ClusterGraph* base_graph, size_t report_offset,
+                       const ClusterGraphSnapshot* base, size_t report_offset,
                        LabelingReport& report);
   // Oracle-backed batch source fanning calls across `pool`.
   Result<LabelingReport> RunRoundsWithOracle(const CandidateSet& pairs,

@@ -1,0 +1,186 @@
+#include "graph/overlay_graph.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace crowdjoin {
+
+OverlayClusterGraph::OverlayClusterGraph(const ClusterGraphSnapshot* base,
+                                         ConflictPolicy policy)
+    : base_(base), policy_(policy) {
+  CJ_CHECK(base_ != nullptr && base_->valid());
+}
+
+int32_t OverlayClusterGraph::BaseRoot(ObjectId x) {
+  auto [it, inserted] = base_root_memo_.try_emplace(x, 0);
+  if (inserted) it->second = base_->ClusterOf(x);
+  return it->second;
+}
+
+int32_t OverlayClusterGraph::OverlayRoot(int32_t base_root) {
+  int32_t r = base_root;
+  auto it = parent_.find(r);
+  while (it != parent_.end()) {
+    r = it->second;
+    it = parent_.find(r);
+  }
+  // Compress the walked path.
+  int32_t x = base_root;
+  while (x != r) {
+    auto step = parent_.find(x);
+    const int32_t next = step->second;
+    step->second = r;
+    x = next;
+  }
+  return r;
+}
+
+bool OverlayClusterGraph::HasOverlayEdge(int32_t ra, int32_t rb) const {
+  auto it = added_edges_.find(ra);
+  return it != added_edges_.end() && it->second.contains(rb);
+}
+
+bool OverlayClusterGraph::HasBaseEdge(const int32_t* group_a, size_t na,
+                                      const int32_t* group_b,
+                                      size_t nb) const {
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      if (deleted_base_edges_.contains(PackPair(group_a[i], group_b[j]))) {
+        continue;
+      }
+      // Both are base roots, so snapshot Deduce is exactly "did the base
+      // have an edge between these clusters".
+      if (base_->Deduce(group_a[i], group_b[j]) == Deduction::kNonMatching) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::pair<const int32_t*, size_t> OverlayClusterGraph::GroupOf(
+    const int32_t& r) const {
+  auto it = groups_.find(r);
+  if (it == groups_.end()) return {&r, 1};
+  return {it->second.data(), it->second.size()};
+}
+
+bool OverlayClusterGraph::HasEdge(int32_t ra, int32_t rb) const {
+  if (HasOverlayEdge(ra, rb)) return true;
+  const auto [pa, na] = GroupOf(ra);
+  const auto [pb, nb] = GroupOf(rb);
+  return HasBaseEdge(pa, na, pb, nb);
+}
+
+void OverlayClusterGraph::DeleteEdge(int32_t ra, int32_t rb) {
+  // ClusterGraph holds exactly one (collapsed) edge between two cluster
+  // roots; in overlay terms that edge may be witnessed by an overlay add
+  // and/or by several surviving base edges between the two groups. Drop
+  // every witness.
+  if (auto it = added_edges_.find(ra); it != added_edges_.end()) {
+    it->second.erase(rb);
+  }
+  if (auto it = added_edges_.find(rb); it != added_edges_.end()) {
+    it->second.erase(ra);
+  }
+  const auto [pa, na] = GroupOf(ra);
+  const auto [pb, nb] = GroupOf(rb);
+  std::vector<uint64_t> newly_deleted;
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      const uint64_t key = PackPair(pa[i], pb[j]);
+      if (deleted_base_edges_.contains(key)) continue;
+      if (base_->Deduce(pa[i], pb[j]) == Deduction::kNonMatching) {
+        newly_deleted.push_back(key);
+      }
+    }
+  }
+  // Inserted after the scan: the group views point into `groups_`, which
+  // must not be touched mid-scan (and deleted_base_edges_ inserts are
+  // fine, but keep the loop read-only for clarity).
+  deleted_base_edges_.insert(newly_deleted.begin(), newly_deleted.end());
+}
+
+void OverlayClusterGraph::Merge(int32_t ra, int32_t rb) {
+  // Which root survives is unobservable through this interface (Deduce,
+  // Add outcomes, and conflict counts are representative-independent), so
+  // pick the larger base-root group for small-to-large concatenation.
+  auto it_a = groups_.find(ra);
+  auto it_b = groups_.find(rb);
+  const size_t na = it_a == groups_.end() ? 1 : it_a->second.size();
+  const size_t nb = it_b == groups_.end() ? 1 : it_b->second.size();
+  int32_t winner = ra;
+  int32_t loser = rb;
+  if (nb > na) {
+    winner = rb;
+    loser = ra;
+  }
+  parent_[loser] = winner;
+
+  std::vector<int32_t> loser_group;
+  if (auto it = groups_.find(loser); it != groups_.end()) {
+    loser_group = std::move(it->second);
+    groups_.erase(it);
+  } else {
+    loser_group.push_back(loser);
+  }
+  {
+    std::vector<int32_t>& winner_group = groups_[winner];
+    if (winner_group.empty()) winner_group.push_back(winner);
+    winner_group.insert(winner_group.end(), loser_group.begin(),
+                        loser_group.end());
+  }
+
+  // Fold the loser's overlay adjacency under the winner's key. The caller
+  // guarantees no edge between winner and loser, so nbr != winner.
+  std::vector<int32_t> neighbors;
+  if (auto it = added_edges_.find(loser); it != added_edges_.end()) {
+    neighbors.assign(it->second.begin(), it->second.end());
+    added_edges_.erase(it);
+  }
+  for (int32_t nbr : neighbors) {
+    added_edges_[nbr].erase(loser);
+    added_edges_[nbr].insert(winner);
+    added_edges_[winner].insert(nbr);
+  }
+}
+
+Deduction OverlayClusterGraph::Deduce(ObjectId a, ObjectId b) {
+  const int32_t ra = OverlayRoot(BaseRoot(a));
+  const int32_t rb = OverlayRoot(BaseRoot(b));
+  if (ra == rb) return Deduction::kMatching;
+  return HasEdge(ra, rb) ? Deduction::kNonMatching : Deduction::kUndeduced;
+}
+
+AddOutcome OverlayClusterGraph::Add(ObjectId a, ObjectId b, Label label) {
+  CJ_CHECK(a != b);
+  const int32_t ra = OverlayRoot(BaseRoot(a));
+  const int32_t rb = OverlayRoot(BaseRoot(b));
+
+  if (label == Label::kMatching) {
+    if (ra == rb) return AddOutcome::kRedundant;
+    if (HasEdge(ra, rb)) {
+      ++local_conflicts_;
+      if (policy_ == ConflictPolicy::kKeepFirst) return AddOutcome::kConflict;
+      DeleteEdge(ra, rb);
+      Merge(ra, rb);
+      return AddOutcome::kConflict;
+    }
+    Merge(ra, rb);
+    return AddOutcome::kApplied;
+  }
+
+  // Non-matching label.
+  if (ra == rb) {
+    ++local_conflicts_;
+    return AddOutcome::kConflict;
+  }
+  if (HasEdge(ra, rb)) return AddOutcome::kRedundant;
+  added_edges_[ra].insert(rb);
+  added_edges_[rb].insert(ra);
+  return AddOutcome::kApplied;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,95 @@
+#ifndef CROWDJOIN_GRAPH_OVERLAY_GRAPH_H_
+#define CROWDJOIN_GRAPH_OVERLAY_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/cluster_graph.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief A mutable delta on top of an immutable `ClusterGraphSnapshot`:
+/// behaves like a `ClusterGraph` that started from the snapshot's state,
+/// without copying it.
+///
+/// This is what lets `LabelingSession::RunStream`'s round-parallel scans
+/// replay a round's labels "on top of" the persistent graph in O(round)
+/// work instead of O(total objects): construction is O(1), every `Add`
+/// touches only overlay state, and reads consult the snapshot through its
+/// epoch-stable interface.
+///
+/// Semantics: `Deduce`, `Add` outcomes, and `num_conflicts()` are exactly
+/// those of `ClusterGraph graph = <state at snapshot>; graph.Add(...)` for
+/// the same label sequence under the same `ConflictPolicy` (pinned by
+/// tests/graph/snapshot_property_test.cc). `num_edges`/`num_merges` style
+/// counters are intentionally not provided — round scans never read them.
+///
+/// The overlay borrows the snapshot; single-threaded use only.
+class OverlayClusterGraph {
+ public:
+  /// `base` must be valid and outlive the overlay.
+  OverlayClusterGraph(const ClusterGraphSnapshot* base, ConflictPolicy policy);
+
+  /// Algorithm 1 over snapshot-plus-overlay state. Non-const: memoizes
+  /// base-root lookups and compresses the overlay forest.
+  Deduction Deduce(ObjectId a, ObjectId b);
+
+  /// Inserts a labeled pair, mirroring `ClusterGraph::Add` outcome for
+  /// outcome (including conflict counting and the kTrustNew
+  /// drop-edge-then-merge behavior).
+  AddOutcome Add(ObjectId a, ObjectId b, Label label);
+
+  /// Conflicts seen by the snapshot plus conflicts added through this
+  /// overlay — the value the equivalent copied graph would report.
+  int64_t num_conflicts() const {
+    return base_->num_conflicts() + local_conflicts_;
+  }
+
+ private:
+  // Base-epoch root of `x`, memoized per object.
+  int32_t BaseRoot(ObjectId x);
+  // Overlay root of a base root (path-compressed map forest).
+  int32_t OverlayRoot(int32_t base_root);
+  // The base roots grouped under overlay root `r` ({r} itself while the
+  // root is an untouched singleton). `r` must stay an lvalue the view can
+  // point into.
+  std::pair<const int32_t*, size_t> GroupOf(const int32_t& r) const;
+  // True when an overlay-added live edge connects overlay roots ra and rb.
+  bool HasOverlayEdge(int32_t ra, int32_t rb) const;
+  // True when a surviving base edge connects the two groups.
+  bool HasBaseEdge(const int32_t* group_a, size_t na, const int32_t* group_b,
+                   size_t nb) const;
+  bool HasEdge(int32_t ra, int32_t rb) const;
+  // Deletes every witness of the edge between ra and rb (kTrustNew).
+  void DeleteEdge(int32_t ra, int32_t rb);
+  // Merges the overlay clusters rooted at ra and rb.
+  void Merge(int32_t ra, int32_t rb);
+
+  static uint64_t PackPair(int32_t a, int32_t b) {
+    const uint32_t lo = static_cast<uint32_t>(a < b ? a : b);
+    const uint32_t hi = static_cast<uint32_t>(a < b ? b : a);
+    return (static_cast<uint64_t>(hi) << 32) | lo;
+  }
+
+  const ClusterGraphSnapshot* base_;
+  ConflictPolicy policy_;
+  int64_t local_conflicts_ = 0;
+
+  std::unordered_map<int32_t, int32_t> base_root_memo_;  // object -> base root
+  // Overlay union-find over base roots; absent key = singleton root.
+  std::unordered_map<int32_t, int32_t> parent_;
+  // Base-root groups of non-singleton overlay roots.
+  std::unordered_map<int32_t, std::vector<int32_t>> groups_;
+  // Overlay-added non-matching edges, keyed by overlay roots (symmetric,
+  // re-keyed on merge like ClusterGraph's fold).
+  std::unordered_map<int32_t, std::unordered_set<int32_t>> added_edges_;
+  // Base edges deleted by kTrustNew, as packed base-root pairs.
+  std::unordered_set<uint64_t> deleted_base_edges_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_GRAPH_OVERLAY_GRAPH_H_

@@ -1,5 +1,6 @@
 #include "graph/union_find.h"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/macros.h"
@@ -13,6 +14,8 @@ void UnionFind::Reset(int32_t n) {
   parent_.resize(static_cast<size_t>(n));
   std::iota(parent_.begin(), parent_.end(), 0);
   size_.assign(static_cast<size_t>(n), 1);
+  min_.resize(static_cast<size_t>(n));
+  std::iota(min_.begin(), min_.end(), 0);
   num_sets_ = n;
 }
 
@@ -22,6 +25,8 @@ void UnionFind::Grow(int32_t n) {
   parent_.resize(static_cast<size_t>(n));
   std::iota(parent_.begin() + old_size, parent_.end(), old_size);
   size_.resize(static_cast<size_t>(n), 1);
+  min_.resize(static_cast<size_t>(n));
+  std::iota(min_.begin() + old_size, min_.end(), old_size);
   num_sets_ += n - old_size;
 }
 
@@ -33,6 +38,14 @@ int32_t UnionFind::Find(int32_t x) {
     int32_t grandparent = parent_[static_cast<size_t>(parent)];
     parent_[static_cast<size_t>(x)] = grandparent;
     x = grandparent;
+  }
+  return x;
+}
+
+int32_t UnionFind::Find(int32_t x) const {
+  CJ_CHECK(x >= 0 && x < size());
+  while (parent_[static_cast<size_t>(x)] != x) {
+    x = parent_[static_cast<size_t>(x)];
   }
   return x;
 }
@@ -54,13 +67,25 @@ void UnionFind::UnionInto(int32_t winner, int32_t loser) {
   CJ_CHECK(parent_[static_cast<size_t>(loser)] == loser);
   parent_[static_cast<size_t>(loser)] = winner;
   size_[static_cast<size_t>(winner)] += size_[static_cast<size_t>(loser)];
+  min_[static_cast<size_t>(winner)] = std::min(
+      min_[static_cast<size_t>(winner)], min_[static_cast<size_t>(loser)]);
   --num_sets_;
 }
 
 bool UnionFind::Same(int32_t a, int32_t b) { return Find(a) == Find(b); }
 
+bool UnionFind::Same(int32_t a, int32_t b) const { return Find(a) == Find(b); }
+
 int32_t UnionFind::SetSize(int32_t x) {
   return size_[static_cast<size_t>(Find(x))];
+}
+
+int32_t UnionFind::SetSize(int32_t x) const {
+  return size_[static_cast<size_t>(Find(x))];
+}
+
+int32_t UnionFind::MinMember(int32_t x) const {
+  return min_[static_cast<size_t>(Find(x))];
 }
 
 }  // namespace crowdjoin

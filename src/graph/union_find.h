@@ -13,6 +13,12 @@ namespace crowdjoin {
 /// `UnionInto` additionally lets a caller dictate which root survives a
 /// merge — the ClusterGraph uses it to keep the root with the larger
 /// non-matching edge set alive (small-to-large edge merging).
+///
+/// Thread hygiene: the non-const `Find`/`Same`/`SetSize` overloads compress
+/// paths, so every "read" through them writes `parent_`. The const
+/// overloads walk the forest without compressing and never write — they are
+/// safe for concurrent use on a frozen structure (no concurrent mutator),
+/// at the cost of longer walks on uncompressed paths.
 class UnionFind {
  public:
   /// Creates `n` singleton sets with ids `[0, n)`.
@@ -29,6 +35,10 @@ class UnionFind {
   /// Returns the representative of `x`'s set; compresses paths (halving).
   int32_t Find(int32_t x);
 
+  /// Compression-free representative lookup: never mutates, safe for
+  /// concurrent readers of a frozen forest.
+  int32_t Find(int32_t x) const;
+
   /// Merges the sets of `a` and `b` by size. Returns the surviving root.
   /// A no-op returning the common root when already joined.
   int32_t Union(int32_t a, int32_t b);
@@ -37,11 +47,24 @@ class UnionFind {
   /// `winner` and `loser` must be roots of distinct sets.
   void UnionInto(int32_t winner, int32_t loser);
 
-  /// True iff `a` and `b` are in the same set.
+  /// True iff `a` and `b` are in the same set (compressing).
   bool Same(int32_t a, int32_t b);
 
-  /// Number of elements in `x`'s set.
+  /// Compression-free `Same` for concurrent readers of a frozen forest.
+  bool Same(int32_t a, int32_t b) const;
+
+  /// Number of elements in `x`'s set (compressing).
   int32_t SetSize(int32_t x);
+
+  /// Compression-free `SetSize` for concurrent readers of a frozen forest.
+  int32_t SetSize(int32_t x) const;
+
+  /// Smallest element id in `x`'s set — a cluster id that survives merges
+  /// monotonically (it can only decrease when the set absorbs a smaller
+  /// member), unlike the representative returned by `Find`, which is an
+  /// arbitrary root that changes whenever the set loses a union.
+  /// Compression-free and const.
+  int32_t MinMember(int32_t x) const;
 
   /// Current number of disjoint sets.
   int32_t num_sets() const { return num_sets_; }
@@ -52,6 +75,8 @@ class UnionFind {
  private:
   std::vector<int32_t> parent_;
   std::vector<int32_t> size_;
+  // min_[r] is the smallest member of r's set; meaningful only at roots.
+  std::vector<int32_t> min_;
   int32_t num_sets_ = 0;
 };
 

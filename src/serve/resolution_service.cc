@@ -1,0 +1,166 @@
+#include "serve/resolution_service.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "text/tokenize.h"
+
+namespace crowdjoin {
+
+ResolutionService::ResolutionService(ResolutionServiceOptions options)
+    : options_(options), graph_(0, options.conflict_policy) {
+  CJ_CHECK(options_.threshold > 0.0 && options_.threshold <= 1.0);
+  CJ_CHECK(options_.top_k > 0);
+  // Readers must always find a valid snapshot, even before the first write.
+  PublishSnapshot();
+}
+
+std::vector<ResolutionService::Match> ResolutionService::MatchEncoded(
+    const std::vector<int32_t>& ids, size_t query_size,
+    ObjectId exclude) const {
+  std::unordered_map<ObjectId, int64_t> overlap;
+  for (int32_t token : ids) {
+    for (ObjectId r : postings_[static_cast<size_t>(token)]) {
+      if (r == exclude) continue;
+      ++overlap[r];
+    }
+  }
+  std::vector<Match> matches;
+  matches.reserve(overlap.size());
+  const auto q = static_cast<int64_t>(query_size);
+  for (const auto& [r, c] : overlap) {
+    const int64_t union_size = q + doc_sizes_[static_cast<size_t>(r)] - c;
+    // J(q, r) = c / union >= threshold, evaluated without dividing.
+    if (static_cast<double>(c) >= options_.threshold *
+                                      static_cast<double>(union_size)) {
+      matches.push_back(Match{r, c, union_size});
+    }
+  }
+  // Similarity descending, id ascending — compared as exact fractions
+  // (cross-multiplication), so the order never hinges on double rounding.
+  std::sort(matches.begin(), matches.end(), [](const Match& x, const Match& y) {
+    const int64_t lhs = x.overlap * y.union_size;
+    const int64_t rhs = y.overlap * x.union_size;
+    if (lhs != rhs) return lhs > rhs;
+    return x.id < y.id;
+  });
+  if (matches.size() > static_cast<size_t>(options_.top_k)) {
+    matches.resize(static_cast<size_t>(options_.top_k));
+  }
+  return matches;
+}
+
+IngestResult ResolutionService::Ingest(const std::string& text) {
+  const std::vector<std::string> tokens = WordTokens(text);
+  ObjectId id = -1;
+  std::vector<Match> matches;
+  {
+    std::unique_lock<std::shared_mutex> lock(index_mu_);
+    const std::vector<int32_t> ids = dict_.AddDocument(tokens);
+    id = static_cast<ObjectId>(doc_sizes_.size());
+    postings_.resize(dict_.size());
+    // Match before this record enters its own postings lists.
+    matches = MatchEncoded(ids, ids.size(), /*exclude=*/-1);
+    for (int32_t token : ids) {
+      postings_[static_cast<size_t>(token)].push_back(id);
+    }
+    doc_sizes_.push_back(static_cast<int32_t>(ids.size()));
+  }
+  // The new record joins the graph as a singleton, and the grown epoch is
+  // published before returning so readers can resolve it immediately.
+  graph_.EnsureObjects(id + 1);
+  PublishSnapshot();
+
+  IngestResult result;
+  result.id = id;
+  result.candidates.reserve(matches.size());
+  for (const Match& m : matches) {
+    // Live const read: the writer thread annotates from the graph it owns.
+    result.candidates.push_back(
+        ServeCandidate{m.id,
+                       static_cast<double>(m.overlap) /
+                           static_cast<double>(m.union_size),
+                       graph_.CanonicalClusterId(m.id)});
+  }
+  return result;
+}
+
+AddOutcome ResolutionService::OnPairLabeled(ObjectId a, ObjectId b,
+                                            Label label) {
+  CJ_CHECK(a != b);
+  CJ_CHECK(a >= 0 && a < graph_.num_objects());
+  CJ_CHECK(b >= 0 && b < graph_.num_objects());
+  const AddOutcome outcome = graph_.Add(a, b, label);
+  num_labels_.fetch_add(1, std::memory_order_relaxed);
+  PublishSnapshot();
+  return outcome;
+}
+
+std::vector<ServeCandidate> ResolutionService::QueryCandidates(
+    const std::string& text) const {
+  const std::vector<std::string> tokens = WordTokens(text);
+  std::vector<Match> matches;
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    size_t num_distinct = 0;
+    const std::vector<int32_t> ids = dict_.Lookup(tokens, &num_distinct);
+    matches = MatchEncoded(ids, num_distinct, /*exclude=*/-1);
+  }
+  const ClusterGraphSnapshot snapshot = CurrentSnapshot();
+  std::vector<ServeCandidate> candidates;
+  candidates.reserve(matches.size());
+  for (const Match& m : matches) {
+    // A record the index serves but the snapshot does not yet span is a
+    // singleton: its canonical cluster id is itself.
+    const ObjectId cluster = m.id < snapshot.num_objects()
+                                 ? snapshot.CanonicalClusterId(m.id)
+                                 : m.id;
+    candidates.push_back(ServeCandidate{
+        m.id,
+        static_cast<double>(m.overlap) / static_cast<double>(m.union_size),
+        cluster});
+  }
+  return candidates;
+}
+
+ObjectId ResolutionService::ResolveCluster(ObjectId id) const {
+  CJ_CHECK(id >= 0);
+  const ClusterGraphSnapshot snapshot = CurrentSnapshot();
+  if (id >= snapshot.num_objects()) return id;  // not yet spanned: singleton
+  return snapshot.CanonicalClusterId(id);
+}
+
+Deduction ResolutionService::DeducePair(ObjectId a, ObjectId b) const {
+  CJ_CHECK(a >= 0 && b >= 0 && a != b);
+  const ClusterGraphSnapshot snapshot = CurrentSnapshot();
+  if (a >= snapshot.num_objects() || b >= snapshot.num_objects()) {
+    return Deduction::kUndeduced;  // no label can touch an unseen record
+  }
+  return snapshot.Deduce(a, b);
+}
+
+ServeStats ResolutionService::Stats() const {
+  const ClusterGraphSnapshot snapshot = CurrentSnapshot();
+  ServeStats stats;
+  stats.num_records = snapshot.num_objects();
+  stats.num_labels = num_labels_.load(std::memory_order_relaxed);
+  stats.epoch = snapshot.epoch();
+  stats.num_clusters = snapshot.num_clusters();
+  stats.num_conflicts = snapshot.num_conflicts();
+  return stats;
+}
+
+void ResolutionService::PublishSnapshot() {
+  const ClusterGraphSnapshot snap = graph_.Snapshot();
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  snapshot_ = snap;
+}
+
+ClusterGraphSnapshot ResolutionService::CurrentSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,143 @@
+#ifndef CROWDJOIN_SERVE_RESOLUTION_SERVICE_H_
+#define CROWDJOIN_SERVE_RESOLUTION_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "graph/cluster_graph.h"
+#include "graph/label.h"
+#include "simjoin/token_dictionary.h"
+
+namespace crowdjoin {
+
+/// Tuning knobs for the always-on resolution service.
+struct ResolutionServiceOptions {
+  /// Minimum exact Jaccard similarity for a record to become a candidate.
+  double threshold = 0.5;
+  /// Maximum candidates returned per ingest or query (similarity
+  /// descending, record id ascending on ties).
+  int32_t top_k = 10;
+  /// How the cluster graph treats contradictory crowd answers.
+  ConflictPolicy conflict_policy = ConflictPolicy::kKeepFirst;
+};
+
+/// One candidate match for an ingested record or an ad-hoc query.
+struct ServeCandidate {
+  ObjectId id = -1;        ///< the matching corpus record
+  double similarity = 0;   ///< exact Jaccard over distinct word tokens
+  ObjectId cluster = -1;   ///< canonical cluster id at the read snapshot
+};
+
+/// What `Ingest` hands back: the new record's dense id plus the labeling
+/// work it creates.
+struct IngestResult {
+  ObjectId id = -1;
+  /// Top-k similar records; candidates sharing a `cluster` need only one
+  /// crowd question between them (transitivity answers the rest).
+  std::vector<ServeCandidate> candidates;
+};
+
+/// A consistent view of the service's bookkeeping.
+struct ServeStats {
+  int64_t num_records = 0;    ///< records visible at the snapshot
+  int64_t num_labels = 0;     ///< OnPairLabeled calls accepted so far
+  int64_t epoch = 0;          ///< published graph epoch
+  int32_t num_clusters = 0;   ///< clusters (incl. singletons) at the snapshot
+  int64_t num_conflicts = 0;  ///< conflicting labels seen up to the snapshot
+};
+
+/// \brief The always-on entity-resolution service: the paper's offline
+/// "join then label" pipeline turned into a long-lived process that
+/// resolves records as they arrive.
+///
+/// The service owns two structures:
+///  * an incremental self-join index (token dictionary + inverted lists)
+///    that answers "which existing records look like this one" by exact
+///    Jaccard overlap counting, and
+///  * a `ClusterGraph` fed by crowd answers through `OnPairLabeled`, whose
+///    transitive relations keep shrinking the number of questions each new
+///    record needs.
+///
+/// ## Threading model
+///
+/// One writer, many readers. `Ingest` and `OnPairLabeled` must come from a
+/// single thread; they advance the live graph and publish a fresh epoch
+/// snapshot (O(1)) after every change. The read API (`QueryCandidates`,
+/// `ResolveCluster`, `DeducePair`, `Stats`) may be called from any number
+/// of threads concurrently with the writer: readers share-lock the index
+/// and resolve cluster questions against the latest published
+/// `ClusterGraphSnapshot`, never against in-flight mutations. A record the
+/// index already serves but the snapshot does not yet span is reported as
+/// its own singleton cluster — exactly what it is until a label touches it.
+class ResolutionService {
+ public:
+  explicit ResolutionService(ResolutionServiceOptions options = {});
+
+  // --- Writer API (single thread) ---
+
+  /// Adds a record to the corpus and returns its id plus the top-k similar
+  /// existing records, annotated with their current clusters.
+  IngestResult Ingest(const std::string& text);
+
+  /// Feeds one crowd answer about records `a` and `b` into the cluster
+  /// graph and publishes the resulting epoch. Returns the graph's verdict
+  /// (applied / redundant / conflict).
+  AddOutcome OnPairLabeled(ObjectId a, ObjectId b, Label label);
+
+  // --- Reader API (any thread, concurrent with the writer) ---
+
+  /// Top-k records similar to ad-hoc text, without ingesting it. Tokens
+  /// the corpus has never seen still count toward the query's set size,
+  /// so similarity is exact Jaccard against the full query.
+  std::vector<ServeCandidate> QueryCandidates(const std::string& text) const;
+
+  /// The canonical cluster id of record `id` at the latest snapshot.
+  ObjectId ResolveCluster(ObjectId id) const;
+
+  /// What the labeled pairs imply about (`a`, `b`) at the latest snapshot.
+  Deduction DeducePair(ObjectId a, ObjectId b) const;
+
+  /// Bookkeeping at the latest snapshot.
+  ServeStats Stats() const;
+
+ private:
+  struct Match {
+    ObjectId id;
+    int64_t overlap;
+    int64_t union_size;
+  };
+
+  // Overlap-counts `ids` (distinct, sorted) against the inverted lists and
+  // returns threshold-passing matches, best first. `query_size` is the
+  // query's distinct-token count (>= ids.size() when unknown tokens were
+  // dropped); `exclude` skips one record id (-1 = none). Callers hold
+  // `index_mu_`.
+  std::vector<Match> MatchEncoded(const std::vector<int32_t>& ids,
+                                  size_t query_size, ObjectId exclude) const;
+
+  // Publishes the live graph's pending epoch into `snapshot_`.
+  void PublishSnapshot();
+  ClusterGraphSnapshot CurrentSnapshot() const;
+
+  ResolutionServiceOptions options_;
+
+  // Self-join index: dictionary + inverted lists + per-record set sizes.
+  mutable std::shared_mutex index_mu_;
+  TokenDictionary dict_;
+  std::vector<std::vector<ObjectId>> postings_;  // token id -> record ids
+  std::vector<int32_t> doc_sizes_;               // record id -> |token set|
+
+  // Crowd knowledge. The writer mutates `graph_` (which locks internally
+  // once snapshots exist); readers only ever touch `snapshot_`.
+  ClusterGraph graph_;
+  mutable std::shared_mutex snapshot_mu_;
+  ClusterGraphSnapshot snapshot_;
+  std::atomic<int64_t> num_labels_{0};
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_SERVE_RESOLUTION_SERVICE_H_

@@ -31,6 +31,36 @@ std::vector<int32_t> TokenDictionary::Encode(
   return doc;
 }
 
+std::vector<int32_t> TokenDictionary::Lookup(
+    const std::vector<std::string>& tokens, size_t* num_distinct) const {
+  std::vector<int32_t> doc;
+  doc.reserve(tokens.size());
+  // Count unknown tokens by distinct *string*, not per occurrence: sort
+  // the misses and unique them alongside the known-id dedup below.
+  std::vector<const std::string*> unknown;
+  for (const auto& token : tokens) {
+    auto it = ids_.find(token);
+    if (it == ids_.end()) {
+      unknown.push_back(&token);
+    } else {
+      doc.push_back(it->second);
+    }
+  }
+  std::sort(doc.begin(), doc.end());
+  doc.erase(std::unique(doc.begin(), doc.end()), doc.end());
+  if (num_distinct != nullptr) {
+    std::sort(unknown.begin(), unknown.end(),
+              [](const std::string* x, const std::string* y) { return *x < *y; });
+    unknown.erase(std::unique(unknown.begin(), unknown.end(),
+                              [](const std::string* x, const std::string* y) {
+                                return *x == *y;
+                              }),
+                  unknown.end());
+    *num_distinct = doc.size() + unknown.size();
+  }
+  return doc;
+}
+
 void TokenDictionary::Reserve(size_t expected_tokens) {
   ids_.reserve(expected_tokens);
   frequency_.reserve(expected_tokens);

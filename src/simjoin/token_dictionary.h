@@ -23,6 +23,15 @@ class TokenDictionary {
   /// Interns without affecting document frequencies (for query-side docs).
   std::vector<int32_t> Encode(const std::vector<std::string>& tokens);
 
+  /// Const, non-interning encode for concurrent readers: maps known tokens
+  /// to their ids (sorted, deduplicated) and silently drops unknown ones.
+  /// When `num_distinct` is non-null it receives the number of distinct
+  /// input tokens *including* unknown ones — the set size a similarity
+  /// denominator needs, since an unknown token matches nothing but still
+  /// belongs to the query's token set.
+  std::vector<int32_t> Lookup(const std::vector<std::string>& tokens,
+                              size_t* num_distinct = nullptr) const;
+
   /// Pre-sizes the intern table and frequency postings for
   /// `expected_tokens` distinct tokens, so corpus loads at a known scale
   /// avoid rehash/regrow churn on the hot `AddDocument` path.

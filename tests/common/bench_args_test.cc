@@ -1,0 +1,109 @@
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace crowdjoin::bench {
+namespace {
+
+// Owns argv storage for a fabricated command line.
+class FakeArgv {
+ public:
+  explicit FakeArgv(std::vector<std::string> args) : storage_(std::move(args)) {
+    argv_.push_back(const_cast<char*>("test_binary"));
+    for (std::string& arg : storage_) {
+      argv_.push_back(arg.data());
+    }
+  }
+  int argc() const { return static_cast<int>(argv_.size()); }
+  char** argv() { return argv_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> argv_;
+};
+
+TEST(BenchArgs, ParsesWellFormedFlags) {
+  FakeArgv fake({"--scale=100", "--threshold=0.75", "--name=paper"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetUint64("scale", 1), 100u);
+  EXPECT_DOUBLE_EQ(args.GetDouble("threshold", 0.5), 0.75);
+  EXPECT_EQ(args.GetString("name", "x"), "paper");
+  args.Done();  // everything consumed: no exit
+}
+
+TEST(BenchArgs, AbsentFlagsFallBack) {
+  FakeArgv fake({});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetUint64("scale", 7), 7u);
+  EXPECT_DOUBLE_EQ(args.GetDouble("threshold", 0.25), 0.25);
+  EXPECT_EQ(args.GetString("name", "fallback"), "fallback");
+  args.Done();
+}
+
+TEST(BenchArgs, DuplicateFlagHonorsFirstAndPassesDone) {
+  FakeArgv fake({"--scale=3", "--scale=9"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetUint64("scale", 1), 3u);
+  args.Done();  // both occurrences count as consumed
+}
+
+using BenchArgsDeathTest = ::testing::Test;
+
+TEST(BenchArgsDeathTest, TrailingJunkInUint64IsFatal) {
+  FakeArgv fake({"--threads=8x"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetUint64("threads", 1), ::testing::ExitedWithCode(2),
+              "bad value for --threads");
+}
+
+TEST(BenchArgsDeathTest, NegativeUint64IsFatal) {
+  // strtoull would silently wrap -1 to 2^64-1; the parser must not.
+  FakeArgv fake({"--scale=-1"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetUint64("scale", 1), ::testing::ExitedWithCode(2),
+              "bad value for --scale");
+}
+
+TEST(BenchArgsDeathTest, EmptyUint64IsFatal) {
+  FakeArgv fake({"--scale="});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetUint64("scale", 1), ::testing::ExitedWithCode(2),
+              "bad value for --scale");
+}
+
+TEST(BenchArgsDeathTest, OutOfRangeUint64IsFatal) {
+  FakeArgv fake({"--scale=99999999999999999999999999"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetUint64("scale", 1), ::testing::ExitedWithCode(2),
+              "out of range");
+}
+
+TEST(BenchArgsDeathTest, MalformedDoubleIsFatal) {
+  FakeArgv fake({"--threshold=0.5abc"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetDouble("threshold", 0.5), ::testing::ExitedWithCode(2),
+              "bad value for --threshold");
+}
+
+TEST(BenchArgsDeathTest, UnrecognizedFlagFailsDone) {
+  // A typo'd flag name is consumed by nothing, so Done() must reject it —
+  // the old parser would silently benchmark the default value.
+  FakeArgv fake({"--thread=8"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetUint64("threads", 1), 1u);
+  EXPECT_EXIT(args.Done(), ::testing::ExitedWithCode(2),
+              "unrecognized argument '--thread=8'");
+}
+
+TEST(BenchArgsDeathTest, StrayPositionalFailsDone) {
+  FakeArgv fake({"stray"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.Done(), ::testing::ExitedWithCode(2),
+              "unrecognized argument 'stray'");
+}
+
+}  // namespace
+}  // namespace crowdjoin::bench

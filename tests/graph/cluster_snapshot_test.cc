@@ -1,0 +1,185 @@
+// Epoch-snapshot semantics of the ClusterGraph: snapshots freeze the
+// published state while the live graph advances, and canonical cluster ids
+// are the only ids that survive merges.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/cluster_graph.h"
+
+namespace crowdjoin {
+namespace {
+
+constexpr Label kM = Label::kMatching;
+constexpr Label kN = Label::kNonMatching;
+
+TEST(ClusterGraphSnapshot, DefaultConstructedIsInvalid) {
+  ClusterGraphSnapshot snapshot;
+  EXPECT_FALSE(snapshot.valid());
+}
+
+TEST(ClusterGraphSnapshot, SeesEverythingPublishedBeforeIt) {
+  ClusterGraph graph(6);
+  graph.Add(0, 1, kM);
+  graph.Add(2, 3, kM);
+  graph.Add(1, 2, kN);
+  const ClusterGraphSnapshot snapshot = graph.Snapshot();
+  ASSERT_TRUE(snapshot.valid());
+  EXPECT_EQ(snapshot.Deduce(0, 1), Deduction::kMatching);
+  EXPECT_EQ(snapshot.Deduce(0, 3), Deduction::kNonMatching);
+  EXPECT_EQ(snapshot.Deduce(0, 4), Deduction::kUndeduced);
+  EXPECT_EQ(snapshot.num_objects(), 6);
+  EXPECT_EQ(snapshot.num_clusters(), 4);
+  EXPECT_EQ(snapshot.num_edges(), 1);
+  EXPECT_EQ(snapshot.num_conflicts(), 0);
+}
+
+TEST(ClusterGraphSnapshot, StaysFrozenWhileLiveGraphAdvances) {
+  ClusterGraph graph(6);
+  graph.Add(0, 1, kM);
+  graph.Add(2, 3, kN);
+  const ClusterGraphSnapshot snapshot = graph.Snapshot();
+
+  // Merge, edge-add, and a conflict — all after the snapshot.
+  graph.Add(0, 4, kM);
+  graph.Add(1, 5, kN);
+  graph.Add(2, 3, kM);  // conflicts with the earlier non-matching label
+
+  EXPECT_EQ(snapshot.Deduce(1, 4), Deduction::kUndeduced);
+  EXPECT_EQ(snapshot.Deduce(0, 5), Deduction::kUndeduced);
+  EXPECT_EQ(snapshot.Deduce(2, 3), Deduction::kNonMatching);
+  EXPECT_EQ(snapshot.num_conflicts(), 0);
+  EXPECT_EQ(snapshot.num_edges(), 1);
+  // The live graph moved on.
+  EXPECT_EQ(graph.Deduce(1, 4), Deduction::kMatching);
+  EXPECT_EQ(graph.num_conflicts(), 1);
+}
+
+TEST(ClusterGraphSnapshot, RepublishWithoutMutationKeepsEpoch) {
+  ClusterGraph graph(4);
+  graph.Add(0, 1, kM);
+  const ClusterGraphSnapshot first = graph.Snapshot();
+  const ClusterGraphSnapshot second = graph.Snapshot();
+  EXPECT_EQ(first.epoch(), second.epoch());
+  graph.Add(2, 3, kM);
+  const ClusterGraphSnapshot third = graph.Snapshot();
+  EXPECT_GT(third.epoch(), second.epoch());
+}
+
+TEST(ClusterGraphSnapshot, RedundantAddDoesNotAdvanceEpoch) {
+  ClusterGraph graph(4);
+  graph.Add(0, 1, kM);
+  const ClusterGraphSnapshot first = graph.Snapshot();
+  ASSERT_EQ(graph.Add(0, 1, kM), AddOutcome::kRedundant);
+  const ClusterGraphSnapshot second = graph.Snapshot();
+  EXPECT_EQ(second.epoch(), first.epoch());
+}
+
+TEST(ClusterGraphSnapshot, EnsureObjectsGrowthIsEpochVisible) {
+  ClusterGraph graph(2);
+  graph.Add(0, 1, kM);
+  const ClusterGraphSnapshot before = graph.Snapshot();
+  graph.EnsureObjects(5);
+  const ClusterGraphSnapshot after = graph.Snapshot();
+  EXPECT_EQ(before.num_objects(), 2);
+  EXPECT_EQ(after.num_objects(), 5);
+  EXPECT_GT(after.epoch(), before.epoch());
+  EXPECT_EQ(after.Deduce(3, 4), Deduction::kUndeduced);
+  EXPECT_EQ(after.CanonicalClusterId(4), 4);
+}
+
+TEST(ClusterGraphSnapshot, TrustNewEdgeKillRespectsEpochs) {
+  ClusterGraph graph(4, ConflictPolicy::kTrustNew);
+  graph.Add(0, 1, kN);
+  const ClusterGraphSnapshot before = graph.Snapshot();
+  // kTrustNew drops the edge and merges anyway.
+  ASSERT_EQ(graph.Add(0, 1, kM), AddOutcome::kConflict);
+  const ClusterGraphSnapshot after = graph.Snapshot();
+  EXPECT_EQ(before.Deduce(0, 1), Deduction::kNonMatching);
+  EXPECT_EQ(after.Deduce(0, 1), Deduction::kMatching);
+  EXPECT_EQ(before.num_conflicts(), 0);
+  EXPECT_EQ(after.num_conflicts(), 1);
+}
+
+TEST(ClusterGraphSnapshot, OldSnapshotsAnswerThroughManyLaterMerges) {
+  ClusterGraph graph(16);
+  std::vector<ClusterGraphSnapshot> snapshots;
+  // Chain-merge 0..15 one object at a time, snapshotting between merges.
+  for (int i = 1; i < 16; ++i) {
+    snapshots.push_back(graph.Snapshot());
+    graph.Add(i - 1, i, kM);
+  }
+  for (int j = 1; j < 15; ++j) {
+    // snapshots[j] saw exactly objects 0..j merged into one cluster.
+    const ClusterGraphSnapshot& snap = snapshots[static_cast<size_t>(j)];
+    EXPECT_EQ(snap.Deduce(0, j), Deduction::kMatching) << "j=" << j;
+    EXPECT_EQ(snap.Deduce(0, j + 1), Deduction::kUndeduced) << "j=" << j;
+    EXPECT_EQ(snap.CanonicalClusterId(j), 0) << "j=" << j;
+    EXPECT_EQ(snap.CanonicalClusterId(j + 1), j + 1) << "j=" << j;
+  }
+}
+
+// Regression for the "raw roots treated as stable" bug: `ClusterOf` may
+// answer a different id for an untouched query after an unrelated-looking
+// merge, while `CanonicalClusterId` never does.
+TEST(ClusterGraphClusterIds, RawRootsGoStaleAcrossMerges) {
+  ClusterGraph graph(5);
+  graph.Add(0, 1, kM);                       // {0,1}
+  const ObjectId stale_root = graph.ClusterOf(0);
+  ASSERT_EQ(graph.CanonicalClusterId(0), 0);
+
+  graph.Add(2, 3, kM);
+  graph.Add(3, 4, kM);                       // {2,3,4}
+  graph.Add(0, 2, kM);                       // {0,1} absorbed by the larger set
+  // The raw root a caller might have persisted no longer identifies the
+  // cluster: comparing it with a fresh root answers "different cluster"
+  // for 0 itself.
+  EXPECT_NE(graph.ClusterOf(0), stale_root);
+  // The canonical id is still 0, for every member.
+  for (ObjectId x = 0; x < 5; ++x) {
+    EXPECT_EQ(graph.CanonicalClusterId(x), 0) << "x=" << x;
+  }
+}
+
+TEST(ClusterGraphClusterIds, CanonicalIdEqualIffSameCluster) {
+  ClusterGraph graph(6);
+  graph.Add(4, 5, kM);
+  graph.Add(1, 3, kM);
+  for (ObjectId a = 0; a < 6; ++a) {
+    for (ObjectId b = 0; b < 6; ++b) {
+      const bool same_cluster = graph.Deduce(a, b) == Deduction::kMatching ||
+                                a == b;
+      EXPECT_EQ(graph.CanonicalClusterId(a) == graph.CanonicalClusterId(b),
+                same_cluster)
+          << "(" << a << "," << b << ")";
+    }
+  }
+}
+
+TEST(ClusterGraphClusterIds, SnapshotCanonicalIdTracksItsEpoch) {
+  ClusterGraph graph(5);
+  graph.Add(2, 3, kM);  // {2,3}: canonical 2
+  const ClusterGraphSnapshot before = graph.Snapshot();
+  graph.Add(0, 2, kM);  // absorbs 0: canonical drops to 0
+  const ClusterGraphSnapshot after = graph.Snapshot();
+  EXPECT_EQ(before.CanonicalClusterId(3), 2);
+  EXPECT_EQ(after.CanonicalClusterId(3), 0);
+  EXPECT_EQ(graph.CanonicalClusterId(3), 0);
+}
+
+TEST(ClusterGraphCopies, CopyDetachesFromSourceSnapshots) {
+  ClusterGraph graph(4);
+  graph.Add(0, 1, kM);
+  const ClusterGraphSnapshot snapshot = graph.Snapshot();
+  ClusterGraph copy = graph;
+  copy.Add(2, 3, kM);
+  // The source and its snapshot are unaffected by the copy's writes.
+  EXPECT_EQ(snapshot.Deduce(2, 3), Deduction::kUndeduced);
+  EXPECT_EQ(graph.Deduce(2, 3), Deduction::kUndeduced);
+  EXPECT_EQ(copy.Deduce(2, 3), Deduction::kMatching);
+  EXPECT_EQ(copy.Deduce(0, 1), Deduction::kMatching);
+}
+
+}  // namespace
+}  // namespace crowdjoin

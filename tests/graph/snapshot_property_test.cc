@@ -1,0 +1,198 @@
+// Property suite for the epoch-snapshot machinery: a snapshot must answer
+// exactly like a deep copy of the graph taken at the same moment, and an
+// OverlayClusterGraph over a snapshot must behave exactly like that copy
+// with further labels applied — across conflict policies, EnsureObjects
+// growth interleavings, and merge-heavy random sequences.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/cluster_graph.h"
+#include "graph/overlay_graph.h"
+
+namespace crowdjoin {
+namespace {
+
+struct Op {
+  ObjectId a;
+  ObjectId b;
+  Label label;
+};
+
+// Random labeled pairs over a ground truth with `noise` probability of a
+// flipped label — the flips are what exercise the conflict policies.
+// `match_bias > 0` redraws non-matching pairs toward matching ones,
+// producing merge-heavy sequences.
+std::vector<Op> MakeOps(Rng& rng, int32_t num_objects, int32_t num_entities,
+                        int32_t num_ops, double noise, int match_bias) {
+  std::vector<int32_t> entity(static_cast<size_t>(num_objects));
+  for (auto& e : entity) {
+    e = static_cast<int32_t>(rng.Index(static_cast<size_t>(num_entities)));
+  }
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(num_ops));
+  while (static_cast<int32_t>(ops.size()) < num_ops) {
+    auto a = static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    auto b = static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    for (int retry = 0; retry < match_bias; ++retry) {
+      if (a != b && entity[static_cast<size_t>(a)] ==
+                        entity[static_cast<size_t>(b)]) {
+        break;
+      }
+      a = static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+      b = static_cast<ObjectId>(rng.Index(static_cast<size_t>(num_objects)));
+    }
+    if (a == b) continue;
+    bool matching =
+        entity[static_cast<size_t>(a)] == entity[static_cast<size_t>(b)];
+    if (rng.UniformDouble() < noise) matching = !matching;
+    ops.push_back(Op{a, b, matching ? Label::kMatching : Label::kNonMatching});
+  }
+  return ops;
+}
+
+void ExpectSameState(const ClusterGraphSnapshot& snapshot,
+                     const ClusterGraph& reference, uint64_t seed,
+                     size_t checkpoint) {
+  ASSERT_EQ(snapshot.num_objects(), reference.num_objects())
+      << "seed=" << seed << " checkpoint=" << checkpoint;
+  EXPECT_EQ(snapshot.num_clusters(), reference.num_clusters());
+  EXPECT_EQ(snapshot.num_edges(), reference.num_edges());
+  EXPECT_EQ(snapshot.num_merges(), reference.num_merges());
+  EXPECT_EQ(snapshot.num_conflicts(), reference.num_conflicts());
+  const int32_t n = reference.num_objects();
+  for (ObjectId a = 0; a < n; ++a) {
+    // Canonical ids must agree exactly (both are min-member ids).
+    ASSERT_EQ(snapshot.CanonicalClusterId(a), reference.CanonicalClusterId(a))
+        << "seed=" << seed << " checkpoint=" << checkpoint << " a=" << a;
+    for (ObjectId b = a + 1; b < n; ++b) {
+      ASSERT_EQ(snapshot.Deduce(a, b), reference.Deduce(a, b))
+          << "seed=" << seed << " checkpoint=" << checkpoint << " pair=(" << a
+          << "," << b << ")";
+    }
+  }
+}
+
+class SnapshotPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, ConflictPolicy>> {};
+
+// Snapshots taken at random points — interleaved with EnsureObjects growth
+// — keep answering like deep copies taken at the same points, no matter
+// how far the live graph advances afterwards.
+TEST_P(SnapshotPropertyTest, SnapshotDeduceMatchesDeepCopy) {
+  const auto [seed, policy] = GetParam();
+  Rng rng(seed);
+  const int32_t final_objects = 36;
+  ClusterGraph live(12, policy);
+
+  std::vector<ClusterGraphSnapshot> snapshots;
+  std::vector<std::unique_ptr<ClusterGraph>> references;
+  for (int growth = 0; growth < 3; ++growth) {
+    // Labels over the objects visible so far; each growth phase gets its
+    // own op mix, with the last phase merge-heavy.
+    const int32_t visible = 12 * (growth + 1);
+    const std::vector<Op> ops =
+        MakeOps(rng, visible, /*num_entities=*/5, /*num_ops=*/60,
+                /*noise=*/0.15, /*match_bias=*/growth == 2 ? 3 : 0);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      live.Add(ops[i].a, ops[i].b, ops[i].label);
+      if (i % 17 == 0) {
+        snapshots.push_back(live.Snapshot());
+        references.push_back(std::make_unique<ClusterGraph>(live));
+      }
+    }
+    if (visible < final_objects) live.EnsureObjects(visible + 12);
+    snapshots.push_back(live.Snapshot());
+    references.push_back(std::make_unique<ClusterGraph>(live));
+  }
+
+  for (size_t i = 0; i < snapshots.size(); ++i) {
+    ExpectSameState(snapshots[i], *references[i], seed, i);
+  }
+}
+
+// An overlay over a snapshot replays further labels exactly like a deep
+// copy of the graph would: identical Add outcomes, identical Deduce on
+// every pair, identical conflict count.
+TEST_P(SnapshotPropertyTest, OverlayMatchesDeepCopyUnderFurtherLabels) {
+  const auto [seed, policy] = GetParam();
+  Rng rng(seed ^ 0x5eed);
+  const int32_t num_objects = 30;
+  ClusterGraph live(num_objects, policy);
+  const std::vector<Op> prefix =
+      MakeOps(rng, num_objects, /*num_entities=*/6, /*num_ops=*/50,
+              /*noise=*/0.15, /*match_bias=*/0);
+  for (const Op& op : prefix) live.Add(op.a, op.b, op.label);
+
+  const ClusterGraphSnapshot snapshot = live.Snapshot();
+  ClusterGraph reference = live;  // the state the snapshot captured
+  OverlayClusterGraph overlay(&snapshot, policy);
+
+  // The live graph keeps moving underneath — the overlay must not notice.
+  const std::vector<Op> concurrent =
+      MakeOps(rng, num_objects, /*num_entities=*/6, /*num_ops=*/40,
+              /*noise=*/0.3, /*match_bias=*/0);
+  for (const Op& op : concurrent) live.Add(op.a, op.b, op.label);
+
+  const std::vector<Op> suffix =
+      MakeOps(rng, num_objects, /*num_entities=*/4, /*num_ops=*/80,
+              /*noise=*/0.2, /*match_bias=*/2);
+  for (size_t i = 0; i < suffix.size(); ++i) {
+    const Op& op = suffix[i];
+    ASSERT_EQ(overlay.Add(op.a, op.b, op.label),
+              reference.Add(op.a, op.b, op.label))
+        << "seed=" << seed << " op=" << i;
+    ASSERT_EQ(overlay.num_conflicts(), reference.num_conflicts())
+        << "seed=" << seed << " op=" << i;
+  }
+  for (ObjectId a = 0; a < num_objects; ++a) {
+    for (ObjectId b = a + 1; b < num_objects; ++b) {
+      ASSERT_EQ(overlay.Deduce(a, b), reference.Deduce(a, b))
+          << "seed=" << seed << " pair=(" << a << "," << b << ")";
+    }
+  }
+}
+
+// Interleaved Deduce/Add on the overlay (the round scans' actual access
+// pattern) agrees with the deep copy at every step, not just at the end.
+TEST_P(SnapshotPropertyTest, OverlayInterleavedDeduceMatches) {
+  const auto [seed, policy] = GetParam();
+  Rng rng(seed ^ 0xfeed);
+  const int32_t num_objects = 24;
+  ClusterGraph live(num_objects, policy);
+  const std::vector<Op> prefix =
+      MakeOps(rng, num_objects, /*num_entities=*/5, /*num_ops=*/40,
+              /*noise=*/0.1, /*match_bias=*/1);
+  for (const Op& op : prefix) live.Add(op.a, op.b, op.label);
+
+  const ClusterGraphSnapshot snapshot = live.Snapshot();
+  ClusterGraph reference = live;
+  OverlayClusterGraph overlay(&snapshot, policy);
+
+  const std::vector<Op> suffix =
+      MakeOps(rng, num_objects, /*num_entities=*/5, /*num_ops=*/60,
+              /*noise=*/0.25, /*match_bias=*/1);
+  for (const Op& op : suffix) {
+    ASSERT_EQ(overlay.Deduce(op.a, op.b), reference.Deduce(op.a, op.b))
+        << "seed=" << seed << " pair=(" << op.a << "," << op.b << ")";
+    if (rng.UniformDouble() < 0.6) {
+      ASSERT_EQ(overlay.Add(op.a, op.b, op.label),
+                reference.Add(op.a, op.b, op.label))
+          << "seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSeeds, SnapshotPropertyTest,
+    ::testing::Combine(::testing::Range<uint64_t>(300, 312),
+                       ::testing::Values(ConflictPolicy::kKeepFirst,
+                                         ConflictPolicy::kTrustNew)));
+
+}  // namespace
+}  // namespace crowdjoin

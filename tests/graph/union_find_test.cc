@@ -72,6 +72,47 @@ TEST(UnionFind, ChainCompressionFlattens) {
   EXPECT_EQ(uf.SetSize(kN - 1), kN);
 }
 
+TEST(UnionFind, ConstReadsAgreeWithMutatingReadsWithoutCompressing) {
+  // Build a deliberately deep chain, then read it through the const
+  // overloads: answers match the mutating overloads', and — because const
+  // reads never compress — the structure is untouched (a second const
+  // pass over an aliasing const ref still agrees).
+  UnionFind uf(64);
+  for (int32_t i = 0; i + 1 < 64; ++i) uf.UnionInto(uf.Find(i + 1), uf.Find(i));
+  const UnionFind& frozen = uf;
+  const int32_t root = frozen.Find(0);
+  for (int32_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(frozen.Find(i), root);
+    EXPECT_EQ(frozen.SetSize(i), 64);
+    EXPECT_TRUE(frozen.Same(0, i));
+  }
+  EXPECT_EQ(uf.Find(0), root);  // mutating overload agrees
+}
+
+TEST(UnionFind, MinMemberIsSmallestInSet) {
+  UnionFind uf(8);
+  uf.Union(5, 7);
+  EXPECT_EQ(uf.MinMember(7), 5);
+  EXPECT_EQ(uf.MinMember(5), 5);
+  uf.Union(2, 5);
+  EXPECT_EQ(uf.MinMember(7), 2);
+  uf.UnionInto(uf.Find(7), uf.Find(0));  // winner root has larger min
+  EXPECT_EQ(uf.MinMember(7), 0);
+  EXPECT_EQ(uf.MinMember(0), 0);
+  EXPECT_EQ(uf.MinMember(1), 1);  // untouched singleton
+}
+
+TEST(UnionFind, MinMemberSurvivesResetAndGrow) {
+  UnionFind uf(4);
+  uf.Union(0, 3);
+  uf.Reset(6);
+  for (int32_t i = 0; i < 6; ++i) EXPECT_EQ(uf.MinMember(i), i);
+  uf.Union(4, 5);
+  uf.Grow(8);
+  EXPECT_EQ(uf.MinMember(5), 4);
+  EXPECT_EQ(uf.MinMember(7), 7);
+}
+
 // Property: UnionFind agrees with a naive label-array implementation under
 // random operation sequences.
 class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};

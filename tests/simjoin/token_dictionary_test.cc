@@ -57,5 +57,32 @@ TEST(TokenDictionary, EmptyDocument) {
   EXPECT_EQ(dict.size(), 0u);
 }
 
+TEST(TokenDictionary, LookupNeverInternsAndDropsUnknownTokens) {
+  TokenDictionary dict;
+  const auto doc = dict.AddDocument({"a", "b"});
+  const TokenDictionary& frozen = dict;
+  const auto known = frozen.Lookup({"b", "unknown", "a"});
+  EXPECT_EQ(known, doc);  // same sorted-deduped ids, unknown dropped
+  EXPECT_EQ(dict.size(), 2u);  // nothing interned
+}
+
+TEST(TokenDictionary, LookupCountsDistinctTokensIncludingUnknown) {
+  TokenDictionary dict;
+  dict.AddDocument({"a", "b"});
+  size_t num_distinct = 0;
+  const auto known =
+      dict.Lookup({"a", "x", "a", "y", "x", "b"}, &num_distinct);
+  EXPECT_EQ(known.size(), 2u);
+  // Distinct set {a, b, x, y}: duplicates collapse on both sides.
+  EXPECT_EQ(num_distinct, 4u);
+}
+
+TEST(TokenDictionary, LookupOnEmptyDictionary) {
+  TokenDictionary dict;
+  size_t num_distinct = 0;
+  EXPECT_TRUE(dict.Lookup({"a", "b", "a"}, &num_distinct).empty());
+  EXPECT_EQ(num_distinct, 2u);
+}
+
 }  // namespace
 }  // namespace crowdjoin
