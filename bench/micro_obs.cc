@@ -1,0 +1,114 @@
+// Microbenchmark pinning the cost of the observability layer itself:
+// counter increments, histogram observations, and spans, each measured
+// enabled and disabled. The disabled numbers are the overhead every
+// instrumented hot path pays when nobody asked for metrics, so they are
+// the contract (one relaxed load + branch); the enabled numbers bound the
+// cost of flipping instrumentation on in production. Results feed the
+// "Observability" table in bench/BASELINES.md.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/tracing.h"
+
+namespace crowdjoin::obs {
+namespace {
+
+MetricsRegistry& BenchRegistry(bool enabled) {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  registry->SetEnabled(enabled);
+  return *registry;
+}
+
+void BM_CounterInc(benchmark::State& state) {
+  MetricsRegistry& registry = BenchRegistry(state.range(0) != 0);
+  Counter* counter = registry.GetCounter("bench.counter_total");
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_CounterInc)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("enabled");
+
+// The striped-slot design exists for this case: concurrent writers to one
+// hot counter must not serialize on a single cache line.
+void BM_CounterIncContended(benchmark::State& state) {
+  MetricsRegistry& registry = BenchRegistry(true);
+  Counter* counter = registry.GetCounter("bench.contended_total");
+  for (auto _ : state) {
+    counter->Inc();
+  }
+  benchmark::DoNotOptimize(counter->Value());
+}
+BENCHMARK(BM_CounterIncContended)->Threads(2)->Threads(4);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  MetricsRegistry& registry = BenchRegistry(state.range(0) != 0);
+  Histogram* hist = registry.GetHistogram("bench.latency_us");
+  int64_t value = 0;
+  for (auto _ : state) {
+    hist->Observe(value++ & 0xFFF);
+  }
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_HistogramObserve)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("enabled");
+
+// ScopedLatencyUs adds two clock reads on top of the Observe.
+void BM_ScopedLatencyUs(benchmark::State& state) {
+  MetricsRegistry& registry = BenchRegistry(state.range(0) != 0);
+  Histogram* hist = registry.GetHistogram("bench.scoped_latency_us");
+  for (auto _ : state) {
+    ScopedLatencyUs timer(hist);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(hist->Count());
+}
+BENCHMARK(BM_ScopedLatencyUs)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("enabled");
+
+void BM_Span(benchmark::State& state) {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  recorder->SetEnabled(state.range(0) != 0);
+  for (auto _ : state) {
+    Span span("bench.span", "bench", recorder);
+    benchmark::ClobberMemory();
+  }
+  if (state.thread_index() == 0) recorder->Clear();
+}
+BENCHMARK(BM_Span)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("enabled");
+
+// Full export pass over a realistically sized registry: what a harness
+// pays once at exit for --metrics_json.
+void BM_SnapshotToJson(benchmark::State& state) {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  if (registry->Snapshot().counters.empty()) {
+    for (int i = 0; i < 16; ++i) {
+      registry->GetCounter("bench.c" + std::to_string(i))->Inc(i);
+      registry->GetHistogram("bench.h" + std::to_string(i))->Observe(i * 37);
+    }
+  }
+  for (auto _ : state) {
+    std::string json = registry->Snapshot().ToJson();
+    benchmark::DoNotOptimize(json);
+  }
+}
+BENCHMARK(BM_SnapshotToJson);
+
+}  // namespace
+}  // namespace crowdjoin::obs
+
+BENCHMARK_MAIN();

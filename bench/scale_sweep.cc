@@ -12,6 +12,11 @@
 //
 // --campaign=0 skips the labeling phase (pure datagen + join throughput);
 // --dataset=product sweeps the bipartite stream instead of the paper one.
+//
+// Phase timing runs through the obs layer: each phase is an obs::Span plus
+// a one-shot scale_sweep.*_us histogram, and the printed table reads the
+// histogram back — the phase table, --metrics_json=, and --trace_json=
+// exports all come from the same source of truth.
 
 #include <sys/resource.h>
 
@@ -19,9 +24,10 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "common/timer.h"
 #include "crowd/orchestrator.h"
 #include "datagen/streaming_generator.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "simjoin/candidate_generator.h"
 
 namespace {
@@ -30,6 +36,15 @@ long PeakRssMiB() {
   struct rusage usage;
   getrusage(RUSAGE_SELF, &usage);
   return usage.ru_maxrss / 1024;  // ru_maxrss is KiB on Linux
+}
+
+// Seconds spent in phase histogram `name` so far. Each phase observes
+// exactly once, so the sum is that phase's duration.
+double PhaseSeconds(const char* name) {
+  const crowdjoin::obs::MetricsSnapshot snapshot =
+      crowdjoin::obs::MetricsRegistry::Global().Snapshot();
+  const crowdjoin::obs::HistogramSample* hist = snapshot.FindHistogram(name);
+  return hist == nullptr ? 0.0 : static_cast<double>(hist->sum) * 1e-6;
 }
 
 }  // namespace
@@ -64,7 +79,15 @@ int main(int argc, char** argv) {
   // that makes near-duplicates diverge at the token level (where the edit
   // measure still matches them) without rewriting the dataset config.
   const double typo = args.GetDouble("typo", -1.0);
+  // Observability exports: metrics snapshot (JSON) and Chrome trace
+  // (Perfetto-loadable). Tracing is recorded only when a path is given.
+  const std::string metrics_json = args.GetString("metrics_json", "");
+  const std::string trace_json = args.GetString("trace_json", "");
+  SetLogLevel(args.GetLogLevel("log_level", crowdjoin::GetLogLevel()));
   args.Done();
+
+  if (!trace_json.empty()) obs::TraceRecorder::Global().SetEnabled(true);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
 
   std::printf(
       "=== scale_sweep: dataset=%s scale=%d threads=%d shards=%d "
@@ -88,13 +111,17 @@ int main(int argc, char** argv) {
 
   // Phase 0: raw generator throughput (stream drained, records discarded).
   {
-    WallTimer timer;
-    StreamedRecord rec;
     int64_t count = 0;
-    source->Reset();
-    while (source->Next(&rec)) ++count;
-    bench::CheckOk(source->status());
-    const double secs = timer.ElapsedSeconds();
+    {
+      obs::Span span("scale_sweep.datagen", "bench");
+      obs::ScopedLatencyUs timer(
+          metrics.GetHistogram("scale_sweep.datagen_us"));
+      StreamedRecord rec;
+      source->Reset();
+      while (source->Next(&rec)) ++count;
+      bench::CheckOk(source->status());
+    }
+    const double secs = PhaseSeconds("scale_sweep.datagen_us");
     std::printf("datagen   : %10lld records  %8.2f ms  %10.0f rec/s\n",
                 static_cast<long long>(count), secs * 1e3,
                 static_cast<double>(count) / secs);
@@ -117,10 +144,15 @@ int main(int argc, char** argv) {
     campaign_config.sharding = sharding;
     campaign_config.crowd.num_threads = threads;
     campaign_config.label_tasks_per_round = label_tasks_per_round;
-    WallTimer timer;
-    const StreamingCampaignStats stats = bench::Unwrap(
-        RunStreamingCampaign(*source, /*scorer=*/nullptr, campaign_config));
-    const double secs = timer.ElapsedSeconds();
+    StreamingCampaignStats stats;
+    {
+      obs::Span span("scale_sweep.stream_campaign", "bench");
+      obs::ScopedLatencyUs timer(
+          metrics.GetHistogram("scale_sweep.stream_campaign_us"));
+      stats = bench::Unwrap(
+          RunStreamingCampaign(*source, /*scorer=*/nullptr, campaign_config));
+    }
+    const double secs = PhaseSeconds("scale_sweep.stream_campaign_us");
     std::printf("stream-campaign: %6lld records  %8.2f ms  "
                 "%lld candidates in %lld rounds "
                 "(%lld crowdsourced, %lld deduced, %lld unlabeled)\n",
@@ -130,6 +162,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(stats.labeling.num_crowdsourced),
                 static_cast<long long>(stats.labeling.num_deduced),
                 static_cast<long long>(stats.labeling.num_unlabeled));
+    bench::ExportObservability(metrics_json, trace_json);
     if (expect_candidates != 0 &&
         stats.num_candidates != static_cast<int64_t>(expect_candidates)) {
       std::fprintf(stderr,
@@ -143,11 +176,16 @@ int main(int argc, char** argv) {
     return 0;
   }
   std::vector<int32_t> entity_of;
-  WallTimer join_timer;
-  const CandidateSet candidates = bench::Unwrap(GenerateCandidatesStreaming(
-      *source, /*scorer=*/nullptr, options, sharding, &entity_of));
+  CandidateSet candidates;
   {
-    const double secs = join_timer.ElapsedSeconds();
+    obs::Span span("scale_sweep.ingest_join", "bench");
+    obs::ScopedLatencyUs timer(
+        metrics.GetHistogram("scale_sweep.ingest_join_us"));
+    candidates = bench::Unwrap(GenerateCandidatesStreaming(
+        *source, /*scorer=*/nullptr, options, sharding, &entity_of));
+  }
+  {
+    const double secs = PhaseSeconds("scale_sweep.ingest_join_us");
     std::printf("ingest+join: %9lld records  %8.2f ms  %10.0f rec/s  "
                 "%lld candidates\n",
                 static_cast<long long>(total), secs * 1e3,
@@ -155,6 +193,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(candidates.size()));
   }
   if (expect_candidates != 0 && candidates.size() != expect_candidates) {
+    bench::ExportObservability(metrics_json, trace_json);
     std::fprintf(stderr,
                  "FATAL: join produced %llu candidates, expected %llu — "
                  "join output drifted\n",
@@ -168,12 +207,17 @@ int main(int argc, char** argv) {
     const GroundTruthOracle truth(entity_of);
     CrowdConfig crowd;
     crowd.num_threads = threads;
-    WallTimer label_timer;
-    const auto order = bench::Unwrap(MakeLabelingOrder(
-        candidates, OrderKind::kExpected, &truth, nullptr));
-    const LabelingReport labeling = bench::Unwrap(
-        RunLocalParallelLabeling(candidates, order, crowd, truth));
-    const double secs = label_timer.ElapsedSeconds();
+    LabelingReport labeling;
+    {
+      obs::Span span("scale_sweep.labeling", "bench");
+      obs::ScopedLatencyUs timer(
+          metrics.GetHistogram("scale_sweep.labeling_us"));
+      const auto order = bench::Unwrap(MakeLabelingOrder(
+          candidates, OrderKind::kExpected, &truth, nullptr));
+      labeling = bench::Unwrap(
+          RunLocalParallelLabeling(candidates, order, crowd, truth));
+    }
+    const double secs = PhaseSeconds("scale_sweep.labeling_us");
     std::printf("labeling  : %10lld pairs    %8.2f ms  "
                 "(%lld crowdsourced, %lld deduced)\n",
                 static_cast<long long>(candidates.size()), secs * 1e3,
@@ -181,6 +225,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(labeling.num_deduced));
   }
 
+  bench::ExportObservability(metrics_json, trace_json);
   std::printf("peak RSS  : %ld MiB\n", PeakRssMiB());
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "bench/bench_util.h"
 #include "common/timer.h"
 #include "datagen/streaming_generator.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "serve/resolution_service.h"
 
 int main(int argc, char** argv) {
@@ -35,7 +37,14 @@ int main(int argc, char** argv) {
   const uint64_t seed = args.GetUint64("seed", 42);
   const uint64_t expect_candidates = args.GetUint64("expect_candidates", 0);
   const uint64_t expect_clusters = args.GetUint64("expect_clusters", 0);
+  // Observability exports (see scale_sweep): serve.* metrics land in the
+  // global registry so one JSON holds the whole process's counters.
+  const std::string metrics_json = args.GetString("metrics_json", "");
+  const std::string trace_json = args.GetString("trace_json", "");
+  SetLogLevel(args.GetLogLevel("log_level", crowdjoin::GetLogLevel()));
   args.Done();
+
+  if (!trace_json.empty()) obs::TraceRecorder::Global().SetEnabled(true);
 
   // Materialize the corpus up front so the timed section measures the
   // service, not the generator.
@@ -60,6 +69,7 @@ int main(int argc, char** argv) {
   ResolutionServiceOptions options;
   options.threshold = threshold;
   options.top_k = top_k;
+  options.metrics = &obs::MetricsRegistry::Global();
   ResolutionService service(options);
 
   std::printf("=== serve_driver: scale=%d records=%zu readers=%d "
@@ -138,6 +148,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(stats.num_conflicts),
               static_cast<long long>(stats.epoch));
 
+  bench::ExportObservability(metrics_json, trace_json);
   if (expect_candidates != 0 &&
       static_cast<uint64_t>(total_candidates) != expect_candidates) {
     std::fprintf(stderr, "FATAL: expected %llu candidates, got %lld\n",

@@ -2,11 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace crowdjoin {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes line emission so concurrent threads cannot shred each other's
+// messages. Leaked (never destroyed) because detached threads may still log
+// during static destruction.
+std::mutex& StderrMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -51,7 +60,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
+    // Assemble the whole line first, then emit it as one locked write:
+    // stderr is unbuffered and interleaves concurrent writers otherwise.
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(StderrMutex());
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

@@ -54,9 +54,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue timestamp (obs::NowNs(); 0 when the
+  /// metrics registry was disabled at submit time, so the wait-time
+  /// histogram reads no clock on the disabled path).
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    int64_t enqueue_ns = 0;
+  };
+
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

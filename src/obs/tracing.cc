@@ -1,0 +1,120 @@
+#include "obs/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace crowdjoin::obs {
+
+namespace {
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AppendChromeEvent(std::string* out, const TraceEvent& event) {
+  // ts/dur are microseconds with sub-microsecond precision as fractions.
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+                event.name, event.category,
+                static_cast<double>(event.start_ns) / 1000.0,
+                static_cast<double>(event.dur_ns) / 1000.0, event.tid);
+  out->append(buf);
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : recorder_id_(NextRecorderId()) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked for the same reason as MetricsRegistry::Global(): spans on
+  // detached threads must never touch a destroyed recorder.
+  static TraceRecorder* const global = new TraceRecorder();
+  return *global;
+}
+
+void TraceRecorder::SetRingCapacity(size_t events) {
+  ring_capacity_.store(events, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    ring->events.clear();
+    ring->total = 0;
+  }
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  // Cache the (recorder, ring) pair per thread. A thread alternating spans
+  // between two recorders re-registers a fresh ring on each switch — fine
+  // for the intended use (one process-global recorder, plus short-lived
+  // per-test recorders on their own threads). The shared_ptr keeps the
+  // cached ring alive even if the recorder dies first; the id check keeps a
+  // recreated recorder at the same address from inheriting a stale ring.
+  thread_local uint64_t cached_recorder_id = 0;
+  thread_local std::shared_ptr<Ring> cached_ring;
+  if (cached_recorder_id != recorder_id_) {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(std::make_shared<Ring>(
+        next_tid_++, ring_capacity_.load(std::memory_order_relaxed)));
+    cached_ring = rings_.back();
+    cached_recorder_id = recorder_id_;
+  }
+  return cached_ring.get();
+}
+
+void TraceRecorder::Append(const char* name, const char* category,
+                           int64_t start_ns, int64_t dur_ns) {
+  Ring* ring = ThreadRing();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  if (ring->capacity == 0) return;
+  const TraceEvent event{name, category, start_ns, dur_ns, ring->tid};
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(event);
+  } else {
+    ring->events[ring->total % ring->capacity] = event;
+  }
+  ++ring->total;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const std::shared_ptr<Ring>& ring : rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mu);
+    const size_t size = ring->events.size();
+    // When the ring has wrapped, the oldest retained event sits at
+    // total % capacity; unwrap so each thread's events come out in order.
+    const size_t start =
+        ring->total > size ? ring->total % ring->capacity : 0;
+    for (size_t i = 0; i < size; ++i) {
+      events.push_back(ring->events[(start + i) % size]);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    AppendChromeEvent(&out, events[i]);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace crowdjoin::obs

@@ -1,0 +1,125 @@
+#ifndef CROWDJOIN_OBS_TRACING_H_
+#define CROWDJOIN_OBS_TRACING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // for NowNs()
+
+/// \file
+/// Lightweight tracing: RAII `Span` scopes record complete ("ph":"X")
+/// events into per-thread ring buffers owned by a `TraceRecorder`, exported
+/// as Chrome `trace_event` JSON that loads directly in Perfetto
+/// (ui.perfetto.dev) or chrome://tracing.
+///
+/// Recording is off by default — a Span against a disabled recorder costs
+/// one relaxed load + branch and reads no clock. Rings are bounded, so a
+/// long campaign keeps the most recent `ring_capacity` events per thread
+/// and drops the oldest (wraparound, not growth).
+
+namespace crowdjoin::obs {
+
+/// One completed span. `name`/`category` must be string literals (or
+/// otherwise outlive the recorder) — spans store the pointers, not copies.
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  int64_t start_ns;  // NowNs() at span entry
+  int64_t dur_ns;
+  int tid;  // recorder-assigned thread id, stable per (recorder, thread)
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The process-wide recorder library spans write to. Disabled by default;
+  /// harnesses enable it when asked for a trace export.
+  static TraceRecorder& Global();
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Per-thread ring size, in events. Applies to rings created after the
+  /// call (a thread's ring is created on its first span), not retroactively.
+  void SetRingCapacity(size_t events);
+
+  /// Drops every recorded event. Rings and thread ids survive.
+  void Clear();
+
+  /// All retained events, oldest-first per thread, then globally ordered by
+  /// start time. A consistent view: concurrent spans may be missed.
+  std::vector<TraceEvent> Events() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}; ts/dur in
+  /// microseconds). Load in Perfetto or chrome://tracing.
+  std::string ToChromeTraceJson() const;
+
+ private:
+  friend class Span;
+
+  struct Ring {
+    Ring(int tid, size_t capacity) : tid(tid), capacity(capacity) {}
+    mutable std::mutex mu;
+    const int tid;
+    const size_t capacity;
+    uint64_t total = 0;  // events ever appended, for wraparound bookkeeping
+    std::vector<TraceEvent> events;
+  };
+
+  void Append(const char* name, const char* category, int64_t start_ns,
+              int64_t dur_ns);
+  Ring* ThreadRing();
+
+  const uint64_t recorder_id_;  // process-unique, so thread caches never
+                                // confuse a dead recorder's address reuse
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> ring_capacity_{size_t{1} << 16};
+  mutable std::mutex rings_mu_;
+  int next_tid_ = 1;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// RAII scope: records [construction, destruction) as one trace event when
+/// the recorder is enabled at construction time. Name/category must be
+/// string literals (see TraceEvent).
+class Span {
+ public:
+  explicit Span(const char* name, const char* category = "crowdjoin",
+                TraceRecorder* recorder = &TraceRecorder::Global())
+      : recorder_(recorder != nullptr && recorder->enabled() ? recorder
+                                                             : nullptr) {
+    if (recorder_ == nullptr) return;
+    name_ = name;
+    category_ = category;
+    start_ns_ = NowNs();
+  }
+
+  ~Span() {
+    if (recorder_ == nullptr) return;
+    recorder_->Append(name_, category_, start_ns_, NowNs() - start_ns_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int64_t start_ns_ = 0;
+};
+
+}  // namespace crowdjoin::obs
+
+#endif  // CROWDJOIN_OBS_TRACING_H_

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "text/tokenize.h"
 
 namespace crowdjoin {
@@ -13,9 +15,27 @@ ResolutionService::ResolutionService(ResolutionServiceOptions options)
     : options_(options), graph_(0, options.conflict_policy) {
   CJ_CHECK(options_.threshold > 0.0 && options_.threshold <= 1.0);
   CJ_CHECK(options_.top_k > 0);
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  ingests_total_ = metrics_->GetCounter("serve.ingests_total");
+  ingest_candidates_total_ =
+      metrics_->GetCounter("serve.ingest_candidates_total");
+  labels_total_ = metrics_->GetCounter("serve.labels_total");
+  queries_total_ = metrics_->GetCounter("serve.queries_total");
+  snapshot_publishes_total_ =
+      metrics_->GetCounter("serve.snapshot_publishes_total");
+  ingest_latency_us_ = metrics_->GetHistogram("serve.ingest_latency_us");
+  query_latency_us_ = metrics_->GetHistogram("serve.query_latency_us");
+  candidates_per_query_ = metrics_->GetHistogram("serve.candidates_per_query");
   // Readers must always find a valid snapshot, even before the first write.
   PublishSnapshot();
 }
+
+ResolutionService::~ResolutionService() = default;
 
 std::vector<ResolutionService::Match> ResolutionService::MatchEncoded(
     const std::vector<int32_t>& ids, size_t query_size,
@@ -53,6 +73,9 @@ std::vector<ResolutionService::Match> ResolutionService::MatchEncoded(
 }
 
 IngestResult ResolutionService::Ingest(const std::string& text) {
+  obs::Span span("serve.ingest", "serve");
+  obs::ScopedLatencyUs latency(ingest_latency_us_);
+  ingests_total_->Inc();
   const std::vector<std::string> tokens = WordTokens(text);
   ObjectId id = -1;
   std::vector<Match> matches;
@@ -75,6 +98,7 @@ IngestResult ResolutionService::Ingest(const std::string& text) {
 
   IngestResult result;
   result.id = id;
+  ingest_candidates_total_->Inc(static_cast<int64_t>(matches.size()));
   result.candidates.reserve(matches.size());
   for (const Match& m : matches) {
     // Live const read: the writer thread annotates from the graph it owns.
@@ -93,13 +117,15 @@ AddOutcome ResolutionService::OnPairLabeled(ObjectId a, ObjectId b,
   CJ_CHECK(a >= 0 && a < graph_.num_objects());
   CJ_CHECK(b >= 0 && b < graph_.num_objects());
   const AddOutcome outcome = graph_.Add(a, b, label);
-  num_labels_.fetch_add(1, std::memory_order_relaxed);
+  labels_total_->Inc();
   PublishSnapshot();
   return outcome;
 }
 
 std::vector<ServeCandidate> ResolutionService::QueryCandidates(
     const std::string& text) const {
+  obs::ScopedLatencyUs latency(query_latency_us_);
+  queries_total_->Inc();
   const std::vector<std::string> tokens = WordTokens(text);
   std::vector<Match> matches;
   {
@@ -122,6 +148,7 @@ std::vector<ServeCandidate> ResolutionService::QueryCandidates(
         static_cast<double>(m.overlap) / static_cast<double>(m.union_size),
         cluster});
   }
+  candidates_per_query_->Observe(static_cast<int64_t>(candidates.size()));
   return candidates;
 }
 
@@ -145,7 +172,7 @@ ServeStats ResolutionService::Stats() const {
   const ClusterGraphSnapshot snapshot = CurrentSnapshot();
   ServeStats stats;
   stats.num_records = snapshot.num_objects();
-  stats.num_labels = num_labels_.load(std::memory_order_relaxed);
+  stats.num_labels = labels_total_->Value();
   stats.epoch = snapshot.epoch();
   stats.num_clusters = snapshot.num_clusters();
   stats.num_conflicts = snapshot.num_conflicts();
@@ -154,8 +181,11 @@ ServeStats ResolutionService::Stats() const {
 
 void ResolutionService::PublishSnapshot() {
   const ClusterGraphSnapshot snap = graph_.Snapshot();
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
-  snapshot_ = snap;
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    snapshot_ = snap;
+  }
+  snapshot_publishes_total_->Inc();
 }
 
 ClusterGraphSnapshot ResolutionService::CurrentSnapshot() const {

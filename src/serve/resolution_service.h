@@ -1,8 +1,8 @@
 #ifndef CROWDJOIN_SERVE_RESOLUTION_SERVICE_H_
 #define CROWDJOIN_SERVE_RESOLUTION_SERVICE_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -13,6 +13,12 @@
 
 namespace crowdjoin {
 
+namespace obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Tuning knobs for the always-on resolution service.
 struct ResolutionServiceOptions {
   /// Minimum exact Jaccard similarity for a record to become a candidate.
@@ -22,6 +28,14 @@ struct ResolutionServiceOptions {
   int32_t top_k = 10;
   /// How the cluster graph treats contradictory crowd answers.
   ConflictPolicy conflict_policy = ConflictPolicy::kKeepFirst;
+  /// Registry the service's `serve.*` metrics (ingest/query latency
+  /// histograms, candidate/label counters) register in. nullptr gives the
+  /// service a private always-enabled registry, keeping per-instance
+  /// counts exact when many services share a process (tests); a harness
+  /// that wants one exportable view passes &obs::MetricsRegistry::Global().
+  /// `ServeStats` is a view over these counters, so disabling the shared
+  /// registry freezes the counter-backed stats fields.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One candidate match for an ingested record or an ad-hoc query.
@@ -75,6 +89,7 @@ struct ServeStats {
 class ResolutionService {
  public:
   explicit ResolutionService(ResolutionServiceOptions options = {});
+  ~ResolutionService();  // out-of-line: obs types are forward-declared here
 
   // --- Writer API (single thread) ---
 
@@ -100,8 +115,13 @@ class ResolutionService {
   /// What the labeled pairs imply about (`a`, `b`) at the latest snapshot.
   Deduction DeducePair(ObjectId a, ObjectId b) const;
 
-  /// Bookkeeping at the latest snapshot.
+  /// Bookkeeping at the latest snapshot. The label count is a view over
+  /// the `serve.labels_total` counter in `metrics()`.
   ServeStats Stats() const;
+
+  /// The registry this service's `serve.*` metrics live in (the one from
+  /// the options, or the service-private default).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct Match {
@@ -135,7 +155,19 @@ class ResolutionService {
   ClusterGraph graph_;
   mutable std::shared_mutex snapshot_mu_;
   ClusterGraphSnapshot snapshot_;
-  std::atomic<int64_t> num_labels_{0};
+
+  // Telemetry (see ResolutionServiceOptions::metrics). Handles stay valid
+  // for the registry's lifetime; readers increment through const pointers.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* ingests_total_;
+  obs::Counter* ingest_candidates_total_;
+  obs::Counter* labels_total_;
+  obs::Counter* queries_total_;
+  obs::Counter* snapshot_publishes_total_;
+  obs::Histogram* ingest_latency_us_;
+  obs::Histogram* query_latency_us_;
+  obs::Histogram* candidates_per_query_;
 };
 
 }  // namespace crowdjoin

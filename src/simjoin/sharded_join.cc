@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/tracing.h"
 #include "simjoin/measure_policy.h"
 #include "simjoin/postings_index.h"
 #include "simjoin/prefix_filter.h"
@@ -15,6 +17,24 @@ namespace crowdjoin {
 namespace {
 
 constexpr int kDefaultNumShards = 16;
+
+// Join-layer instrumentation, incremented once per probe task (never per
+// candidate) so the hot gather/verify loops stay metric-free.
+struct JoinMetrics {
+  obs::Counter* probe_tasks_total;
+  obs::Counter* prefilter_candidates_total;
+  obs::Counter* pairs_emitted_total;
+
+  static JoinMetrics& Get() {
+    static JoinMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter("simjoin.probe_tasks_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "simjoin.prefilter_candidates_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "simjoin.pairs_emitted_total")};
+    return metrics;
+  }
+};
 
 int ResolveShardCount(int requested) {
   return requested > 0 ? requested : kDefaultNumShards;
@@ -101,6 +121,7 @@ template <typename Policy>
 ShardedSelfJoiner::Prepared ShardedSelfJoiner::PrepareT(
     const Policy& policy, const Shard& shard,
     const std::vector<int32_t>& ranks, double threshold, bool build_index) {
+  obs::Span span("simjoin.prepare_shard", "simjoin");
   Prepared prepared;
   prepared.rank_tokens = shard.tokens;
   const size_t n = shard.size();
@@ -157,6 +178,8 @@ void ShardedSelfJoiner::ProbeTaskT(const Policy& policy,
                                    std::vector<ScoredPair>& out) {
   std::vector<int32_t> last_seen(target_raw.size(), -1);
   std::vector<JoinCandidate> candidates;  // scratch, reused across probes
+  const size_t out_before = out.size();
+  int64_t num_gathered = 0;  // candidates entering verification, this task
   const auto size_of = [&target](int32_t doc) {
     return target.sizes[static_cast<size_t>(doc)];
   };
@@ -197,6 +220,7 @@ void ShardedSelfJoiner::ProbeTaskT(const Policy& policy,
                                  skip, candidates);
       }
     }
+    num_gathered += static_cast<int64_t>(candidates.size());
     const internal::MeasureDocRef probe_ref{probe_ranks, tok_len_j, size_j,
                                             probe_raw.payload(j)};
     for (const JoinCandidate& cand : candidates) {
@@ -220,6 +244,10 @@ void ShardedSelfJoiner::ProbeTaskT(const Policy& policy,
       }
     }
   }
+  JoinMetrics& metrics = JoinMetrics::Get();
+  metrics.prefilter_candidates_total->Inc(num_gathered);
+  metrics.pairs_emitted_total->Inc(
+      static_cast<int64_t>(out.size() - out_before));
 }
 
 // ---------------------------------------------------------------------------
@@ -274,6 +302,8 @@ Result<std::vector<ScoredPair>> ShardedJoinCursor::NextBatch(
         const auto [a, b] = impl.tasks[static_cast<size_t>(begin + i)];
         const auto& probe_prepared =
             impl.bipartite ? impl.probe_prepared : impl.target_prepared;
+        obs::Span span("simjoin.probe_task", "simjoin");
+        JoinMetrics::Get().probe_tasks_total->Inc();
         std::vector<ScoredPair> out;
         internal::DispatchMeasure(
             *impl.measure, &impl.cosine_weights, [&](auto policy) {

@@ -50,6 +50,26 @@ TEST(BenchArgs, DuplicateFlagHonorsFirstAndPassesDone) {
   args.Done();  // both occurrences count as consumed
 }
 
+TEST(BenchArgs, ParsesEveryLogLevelName) {
+  FakeArgv fake({"--a=debug", "--b=info", "--c=warning", "--d=error",
+                 "--e=off"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetLogLevel("a", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(args.GetLogLevel("b", LogLevel::kOff), LogLevel::kInfo);
+  EXPECT_EQ(args.GetLogLevel("c", LogLevel::kOff), LogLevel::kWarning);
+  EXPECT_EQ(args.GetLogLevel("d", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(args.GetLogLevel("e", LogLevel::kDebug), LogLevel::kOff);
+  args.Done();
+}
+
+TEST(BenchArgs, AbsentLogLevelFallsBack) {
+  FakeArgv fake({});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EQ(args.GetLogLevel("log_level", LogLevel::kWarning),
+            LogLevel::kWarning);
+  args.Done();
+}
+
 using BenchArgsDeathTest = ::testing::Test;
 
 TEST(BenchArgsDeathTest, TrailingJunkInUint64IsFatal) {
@@ -86,6 +106,16 @@ TEST(BenchArgsDeathTest, MalformedDoubleIsFatal) {
   const Args args(fake.argc(), fake.argv());
   EXPECT_EXIT(args.GetDouble("threshold", 0.5), ::testing::ExitedWithCode(2),
               "bad value for --threshold");
+}
+
+TEST(BenchArgsDeathTest, BogusLogLevelIsFatal) {
+  // Strict by design: a typo like --log_level=inof must not silently fall
+  // back to the default severity.
+  FakeArgv fake({"--log_level=verbose"});
+  const Args args(fake.argc(), fake.argv());
+  EXPECT_EXIT(args.GetLogLevel("log_level", LogLevel::kInfo),
+              ::testing::ExitedWithCode(2),
+              "expected debug\\|info\\|warning\\|error\\|off");
 }
 
 TEST(BenchArgsDeathTest, UnrecognizedFlagFailsDone) {

@@ -1,6 +1,16 @@
 #include "common/logging.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace crowdjoin {
 namespace {
@@ -30,6 +40,97 @@ TEST(Logging, EmittedLevelsDoNotCrash) {
   CJ_LOG(Debug) << "debug line from logging_test";
   CJ_LOG(Error) << "error line from logging_test";
   SetLogLevel(original);
+}
+
+// Redirects fd 2 to a temp file for the object's lifetime so the test can
+// inspect what was actually written to stderr.
+class CapturedStderr {
+ public:
+  CapturedStderr() {
+    char tmpl[] = "/tmp/crowdjoin_logging_test_XXXXXX";
+    capture_fd_ = mkstemp(tmpl);
+    EXPECT_GE(capture_fd_, 0);
+    path_ = tmpl;
+    saved_stderr_ = dup(2);
+    fflush(stderr);
+    dup2(capture_fd_, 2);
+  }
+
+  ~CapturedStderr() {
+    fflush(stderr);
+    dup2(saved_stderr_, 2);
+    close(saved_stderr_);
+    close(capture_fd_);
+    unlink(path_.c_str());
+  }
+
+  std::string Contents() const {
+    fflush(stderr);
+    std::ifstream in(path_);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+ private:
+  int capture_fd_ = -1;
+  int saved_stderr_ = -1;
+  std::string path_;
+};
+
+TEST(Logging, ConcurrentWritersDoNotInterleave) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+
+  constexpr int kThreads = 8;
+  constexpr int kLinesPerThread = 200;
+  // Long payload so a torn write would be visible even with kernel-level
+  // write coalescing on small buffers.
+  const std::string padding(120, 'x');
+
+  std::string captured;
+  {
+    CapturedStderr capture;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &padding] {
+        for (int i = 0; i < kLinesPerThread; ++i) {
+          CJ_LOG(Info) << "thread=" << t << " seq=" << i << " " << padding;
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    captured = capture.Contents();
+  }
+  SetLogLevel(original);
+
+  // Every captured line must be exactly one expected line: a torn or
+  // interleaved write produces a line no thread ever emitted.
+  std::set<std::string> expected;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kLinesPerThread; ++i) {
+      std::ostringstream line;
+      line << "thread=" << t << " seq=" << i << " " << padding;
+      expected.insert(line.str());
+    }
+  }
+
+  int num_lines = 0;
+  std::istringstream stream(captured);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++num_lines;
+    // Strip the "[INFO logging_test.cc:NN] " prefix; the line number varies
+    // with edits, so match structurally.
+    ASSERT_EQ(line.rfind("[INFO logging_test.cc:", 0), 0u) << line;
+    const size_t body_start = line.find("] ");
+    ASSERT_NE(body_start, std::string::npos) << line;
+    const std::string body = line.substr(body_start + 2);
+    ASSERT_EQ(expected.count(body), 1u) << "torn line: " << line;
+    expected.erase(body);
+  }
+  EXPECT_EQ(num_lines, kThreads * kLinesPerThread);
+  EXPECT_TRUE(expected.empty());
 }
 
 }  // namespace

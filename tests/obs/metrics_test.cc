@@ -1,0 +1,227 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace crowdjoin::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter->Value(), 0);
+  counter->Inc();
+  counter->Inc(41);
+  EXPECT_EQ(counter->Value(), 42);
+}
+
+TEST(Counter, SameNameReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("test.counter");
+  Counter* b = registry.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3);
+}
+
+TEST(Counter, HandlesStayValidAsRegistryGrows) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("first");
+  first->Inc();
+  // Force growth past any small-buffer regime; the first handle must
+  // survive (deque storage never relocates).
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i))->Inc();
+  }
+  EXPECT_EQ(first->Value(), 1);
+  EXPECT_EQ(registry.Snapshot().counters.size(), 101u);
+}
+
+TEST(Counter, StripedWritesFromManyThreadsSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  constexpr int kThreads = 8;
+  constexpr int kIncsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncsPerThread; ++i) counter->Inc();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), int64_t{kThreads} * kIncsPerThread);
+}
+
+TEST(Counter, DisabledRegistryDropsWrites) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  registry.SetEnabled(false);
+  counter->Inc(5);
+  EXPECT_EQ(counter->Value(), 0);
+  registry.SetEnabled(true);
+  counter->Inc(5);
+  EXPECT_EQ(counter->Value(), 5);
+}
+
+TEST(Counter, StandaloneCounterIsAlwaysEnabled) {
+  Counter counter;
+  counter.Inc(7);
+  EXPECT_EQ(counter.Value(), 7);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  EXPECT_EQ(gauge->Value(), 0);
+  gauge->Set(10);
+  EXPECT_EQ(gauge->Value(), 10);
+  gauge->Add(-3);
+  EXPECT_EQ(gauge->Value(), 7);
+  registry.SetEnabled(false);
+  gauge->Set(100);
+  EXPECT_EQ(gauge->Value(), 7);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(-5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<int64_t>::max()),
+            kHistogramBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBoundsMatchIndexing) {
+  // Every bucket's upper bound must land back in that bucket, and the next
+  // value in the following bucket — the two exports rely on this.
+  for (int b = 0; b < kHistogramBuckets - 1; ++b) {
+    const int64_t ub = Histogram::BucketUpperBound(b);
+    EXPECT_EQ(Histogram::BucketIndex(ub), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::BucketIndex(ub + 1), b + 1) << "bucket " << b;
+  }
+  EXPECT_EQ(Histogram::BucketUpperBound(kHistogramBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(Histogram, ObserveTracksCountSumAndBuckets) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist");
+  hist->Observe(0);
+  hist->Observe(1);
+  hist->Observe(5);
+  hist->Observe(5);
+  EXPECT_EQ(hist->Count(), 4);
+  EXPECT_EQ(hist->Sum(), 11);
+  EXPECT_EQ(hist->BucketCount(0), 1);
+  EXPECT_EQ(hist->BucketCount(1), 1);
+  EXPECT_EQ(hist->BucketCount(3), 2);
+}
+
+TEST(Histogram, NegativeValuesCountButDoNotReduceSum) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist");
+  hist->Observe(-100);
+  hist->Observe(10);
+  EXPECT_EQ(hist->Count(), 2);
+  EXPECT_EQ(hist->Sum(), 10);
+}
+
+TEST(Histogram, DisabledRegistryDropsObservations) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.hist");
+  registry.SetEnabled(false);
+  hist->Observe(3);
+  EXPECT_EQ(hist->Count(), 0);
+}
+
+TEST(ScopedLatencyUs, ObservesOncePerScope) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.latency_us");
+  { ScopedLatencyUs timer(hist); }
+  EXPECT_EQ(hist->Count(), 1);
+  EXPECT_GE(hist->Sum(), 0);
+}
+
+TEST(ScopedLatencyUs, DisabledAtConstructionSkipsObservation) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.GetHistogram("test.latency_us");
+  registry.SetEnabled(false);
+  {
+    ScopedLatencyUs timer(hist);
+    // Re-enabling mid-scope must not produce a bogus sample: the decision
+    // was taken at construction.
+    registry.SetEnabled(true);
+  }
+  EXPECT_EQ(hist->Count(), 0);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last")->Inc(1);
+  registry.GetCounter("a.first")->Inc(2);
+  registry.GetGauge("m.middle")->Set(3);
+  registry.GetHistogram("h.hist")->Observe(4);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.first");
+  EXPECT_EQ(snapshot.counters[0].value, 2);
+  EXPECT_EQ(snapshot.counters[1].name, "z.last");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].value, 3);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].count, 1);
+  EXPECT_EQ(snapshot.histograms[0].sum, 4);
+  EXPECT_NE(snapshot.FindCounter("a.first"), nullptr);
+  EXPECT_EQ(snapshot.FindCounter("missing"), nullptr);
+  EXPECT_NE(snapshot.FindGauge("m.middle"), nullptr);
+  EXPECT_NE(snapshot.FindHistogram("h.hist"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetForTestingZeroesEverything) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Gauge* gauge = registry.GetGauge("g");
+  Histogram* hist = registry.GetHistogram("h");
+  counter->Inc(5);
+  gauge->Set(6);
+  hist->Observe(7);
+  registry.ResetForTesting();
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(hist->Count(), 0);
+  EXPECT_EQ(hist->Sum(), 0);
+  // Handles still work after the in-place rebuild.
+  counter->Inc();
+  EXPECT_EQ(counter->Value(), 1);
+}
+
+TEST(MetricsRegistry, GlobalIsEnabledByDefault) {
+  EXPECT_TRUE(MetricsRegistry::Global().enabled());
+}
+
+TEST(MetricsRegistryDeathTest, InvalidNameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  EXPECT_DEATH(registry.GetCounter("has space"), "invalid metric name");
+  EXPECT_DEATH(registry.GetCounter(""), "invalid metric name");
+}
+
+TEST(MetricsRegistryDeathTest, CrossKindNameCollisionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  MetricsRegistry registry;
+  registry.GetCounter("one.name");
+  EXPECT_DEATH(registry.GetGauge("one.name"), "different kind");
+}
+
+}  // namespace
+}  // namespace crowdjoin::obs

@@ -1,0 +1,163 @@
+#include "obs/tracing.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace crowdjoin::obs {
+namespace {
+
+// Every recorder test runs its spans on a dedicated thread: rings are
+// cached per (thread, recorder), so a fresh thread guarantees a fresh ring
+// with the capacity configured by the test.
+void OnFreshThread(const std::function<void()>& body) {
+  std::thread thread(body);
+  thread.join();
+}
+
+TEST(Span, DisabledRecorderRecordsNothing) {
+  TraceRecorder recorder;
+  OnFreshThread([&] {
+    Span span("work", "test", &recorder);
+  });
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST(Span, RecordsCompleteEvents) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  OnFreshThread([&] {
+    Span span("work", "test", &recorder);
+  });
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GE(events[0].start_ns, 0);
+  EXPECT_GE(events[0].dur_ns, 0);
+}
+
+TEST(Span, NestedSpansAreContainedInTheirParent) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  OnFreshThread([&] {
+    Span outer("outer", "test", &recorder);
+    {
+      Span inner("inner", "test", &recorder);
+    }
+  });
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST(Span, EnabledCheckHappensAtConstruction) {
+  TraceRecorder recorder;
+  OnFreshThread([&] {
+    Span span("work", "test", &recorder);
+    recorder.SetEnabled(true);  // too late for this span
+  });
+  EXPECT_TRUE(recorder.Events().empty());
+  recorder.SetEnabled(false);
+}
+
+TEST(TraceRecorder, RingWrapsKeepingTheNewestEvents) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  recorder.SetRingCapacity(8);
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("span" + std::to_string(i));
+  OnFreshThread([&] {
+    for (int i = 0; i < 20; ++i) {
+      Span span(names[static_cast<size_t>(i)].c_str(), "test", &recorder);
+    }
+  });
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first unwrapping: exactly spans 12..19 survive, in order.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_STREQ(events[static_cast<size_t>(i)].name,
+                 names[static_cast<size_t>(12 + i)].c_str());
+  }
+}
+
+TEST(TraceRecorder, ThreadsGetDistinctTids) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  OnFreshThread([&] { Span span("a", "test", &recorder); });
+  OnFreshThread([&] { Span span("b", "test", &recorder); });
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceRecorder, ClearDropsEventsButKeepsRecording) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  OnFreshThread([&] { Span span("a", "test", &recorder); });
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Events().empty());
+  OnFreshThread([&] { Span span("b", "test", &recorder); });
+  ASSERT_EQ(recorder.Events().size(), 1u);
+  EXPECT_STREQ(recorder.Events()[0].name, "b");
+}
+
+TEST(TraceRecorder, ChromeJsonShapeLoadsInPerfetto) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  OnFreshThread([&] {
+    Span outer("outer", "test", &recorder);
+    Span inner("inner", "test", &recorder);
+  });
+  const std::string json = recorder.ToChromeTraceJson();
+  // The minimal contract Perfetto/chrome://tracing need: a traceEvents
+  // array of complete ("X") events with name/cat/ts/dur/pid/tid.
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tid\": "), std::string::npos) << json;
+}
+
+TEST(TraceRecorder, EmptyRecorderStillExportsValidJson) {
+  TraceRecorder recorder;
+  EXPECT_EQ(recorder.ToChromeTraceJson(),
+            "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n]}\n");
+}
+
+TEST(TraceRecorder, ConcurrentSpansAreAllRetained) {
+  TraceRecorder recorder;
+  recorder.SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("work", "test", &recorder);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.Events().size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(TraceRecorder, GlobalIsDisabledByDefault) {
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+}
+
+}  // namespace
+}  // namespace crowdjoin::obs
