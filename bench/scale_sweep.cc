@@ -20,10 +20,14 @@
 
 #include <sys/resource.h>
 
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
 #include "crowd/orchestrator.h"
 #include "datagen/streaming_generator.h"
 #include "obs/metrics.h"
@@ -83,6 +87,33 @@ int main(int argc, char** argv) {
   // (Perfetto-loadable). Tracing is recorded only when a path is given.
   const std::string metrics_json = args.GetString("metrics_json", "");
   const std::string trace_json = args.GetString("trace_json", "");
+  // Fault plan + retry policy for the labeling campaign (see FaultPlan /
+  // RetryPolicy). All off by default.
+  FaultPlan faults;
+  faults.seed = args.GetUint64("fault_seed", 0);
+  faults.abandonment_rate = args.GetDouble("fault_abandonment", 0.0);
+  faults.straggler_rate = args.GetDouble("fault_straggler", 0.0);
+  faults.straggler_multiplier =
+      args.GetDouble("fault_straggler_mult", 4.0);
+  faults.spammer_rate = args.GetDouble("fault_spammer", 0.0);
+  faults.hit_expiry_hours = args.GetDouble("fault_hit_expiry", 0.0);
+  faults.publish_failure_rate =
+      args.GetDouble("fault_publish_failure", 0.0);
+  RetryPolicy retry;
+  retry.max_attempts =
+      static_cast<int>(args.GetUint64("retry_max_attempts", 4));
+  retry.reask_margin =
+      static_cast<int>(args.GetUint64("retry_reask_margin", 0));
+  // Durable campaign (round-by-round mode only): write the round frontier
+  // to --checkpoint= every --checkpoint_every= rounds and resume from it
+  // when the file exists. --kill_after_rounds=K SIGKILLs the process right
+  // after the checkpoint covering round K lands — the kill half of the
+  // kill-and-resume harness.
+  const std::string checkpoint_path = args.GetString("checkpoint", "");
+  const auto checkpoint_every =
+      static_cast<int64_t>(args.GetUint64("checkpoint_every", 1));
+  const auto kill_after_rounds =
+      static_cast<int64_t>(args.GetUint64("kill_after_rounds", 0));
   SetLogLevel(args.GetLogLevel("log_level", crowdjoin::GetLogLevel()));
   args.Done();
 
@@ -143,7 +174,40 @@ int main(int argc, char** argv) {
     campaign_config.candidates = options;
     campaign_config.sharding = sharding;
     campaign_config.crowd.num_threads = threads;
+    campaign_config.crowd.faults = faults;
+    campaign_config.crowd.retry = retry;
     campaign_config.label_tasks_per_round = label_tasks_per_round;
+    if (!checkpoint_path.empty()) {
+      campaign_config.checkpoint.path = checkpoint_path;
+      campaign_config.checkpoint.every_rounds = checkpoint_every;
+      // Everything that shapes the stream or its labels belongs in the
+      // fingerprint — resuming under a different workload must fail.
+      campaign_config.checkpoint.fingerprint =
+          Fingerprint64(StrFormat(
+              "scale_sweep|%s|scale=%d|shards=%d|threshold=%.6f|%s|"
+              "typo=%.6f|seed=%llu|tasks=%lld|faults=%llu:%f:%f:%f:%f:%f:%f|"
+              "retry=%d:%d",
+              product ? "product" : "paper", scale, shards, threshold,
+              SimilarityMeasure::Get(measure).name(), typo,
+              static_cast<unsigned long long>(seed),
+              static_cast<long long>(label_tasks_per_round),
+              static_cast<unsigned long long>(faults.seed),
+              faults.abandonment_rate, faults.straggler_rate,
+              faults.straggler_multiplier, faults.spammer_rate,
+              faults.hit_expiry_hours, faults.publish_failure_rate,
+              retry.max_attempts, retry.reask_margin));
+      if (kill_after_rounds > 0) {
+        campaign_config.checkpoint.after_write =
+            [kill_after_rounds](int64_t completed_rounds) {
+              if (completed_rounds >= kill_after_rounds) {
+                // Simulate a hard crash mid-campaign: no destructors, no
+                // flushing — the next run must come back from the file.
+                std::fflush(nullptr);
+                std::raise(SIGKILL);
+              }
+            };
+      }
+    }
     StreamingCampaignStats stats;
     {
       obs::Span span("scale_sweep.stream_campaign", "bench");
@@ -207,6 +271,8 @@ int main(int argc, char** argv) {
     const GroundTruthOracle truth(entity_of);
     CrowdConfig crowd;
     crowd.num_threads = threads;
+    crowd.faults = faults;
+    crowd.retry = retry;
     LabelingReport labeling;
     {
       obs::Span span("scale_sweep.labeling", "bench");

@@ -115,6 +115,20 @@ size_t Rng::Index(size_t size) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.spare_normal = spare_normal_;
+  state.has_spare_normal = has_spare_normal_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  spare_normal_ = state.spare_normal;
+  has_spare_normal_ = state.has_spare_normal;
+}
+
 ZipfSampler::ZipfSampler(uint64_t n, double s) {
   CJ_CHECK(n >= 1);
   cdf_.resize(n);

@@ -90,6 +90,21 @@ class Rng {
   /// Useful for giving each simulated worker / dataset its own substream.
   Rng Fork();
 
+  /// \brief The complete generator state: xoshiro words plus the Box–Muller
+  /// spare. Restoring it resumes the stream exactly where it left off,
+  /// which is what campaign checkpoints persist.
+  struct State {
+    uint64_t s[4];
+    double spare_normal;
+    bool has_spare_normal;
+  };
+
+  /// Captures the current state (for checkpointing).
+  State SaveState() const;
+
+  /// Overwrites the generator with a previously saved state.
+  void RestoreState(const State& state);
+
  private:
   uint64_t s_[4];
   double spare_normal_ = 0.0;

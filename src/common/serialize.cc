@@ -1,0 +1,56 @@
+#include "common/serialize.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace crowdjoin {
+
+uint64_t Fingerprint64(std::string_view data) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return h;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open " + tmp + " for writing");
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::Internal("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::Internal("rename " + tmp + " -> " + path + ": " +
+                            std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::Internal("read error on " + path);
+  }
+  return std::move(buf).str();
+}
+
+}  // namespace crowdjoin

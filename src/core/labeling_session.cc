@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/macros.h"
+#include "common/serialize.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "graph/overlay_graph.h"
@@ -38,6 +39,85 @@ struct SessionMetrics {
     return metrics;
   }
 };
+
+// Retry telemetry (the ISSUE-9 fault-tolerance counters). `hit_attempts`
+// observes the attempt count of every crowd ask made under a fault model
+// (so its count is the number of faulted-mode asks); `hits_retried_total`
+// counts the asks that needed more than one attempt; `retry_backoff_us`
+// observes each computed backoff wait (accounted, not slept — simulation).
+struct RetryMetrics {
+  obs::Counter* hits_retried_total;
+  obs::Histogram* hit_attempts;
+  obs::Histogram* retry_backoff_us;
+
+  static RetryMetrics& Get() {
+    static RetryMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter("crowd.hits_retried_total"),
+        obs::MetricsRegistry::Global().GetHistogram("crowd.hit_attempts"),
+        obs::MetricsRegistry::Global().GetHistogram("crowd.retry_backoff_us")};
+    return metrics;
+  }
+};
+
+// Jitter/coin key of the unordered pair, shared by every retry stream.
+uint64_t PairRetryKey(ObjectId a, ObjectId b) {
+  const ObjectId lo = a < b ? a : b;
+  const ObjectId hi = a < b ? b : a;
+  return (static_cast<uint64_t>(static_cast<uint32_t>(lo)) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(hi));
+}
+
+// One crowd ask under the retry policy: burns through transiently faulted
+// attempts (each costing accounted backoff, never an oracle call), then
+// asks `ask` once. The ask after `max_attempts` faults is the escalation
+// path and is not offered to the fault model, so termination is
+// unconditional. All decisions are pure hashes — thread-safe, order-free.
+template <typename AskFn>
+Label AskWithRetry(ObjectId a, ObjectId b, const RetryPolicy& retry,
+                   const AttemptFaultFn& fault, const AskFn& ask) {
+  RetryMetrics& metrics = RetryMetrics::Get();
+  const uint64_t key = PairRetryKey(a, b);
+  int attempt = 1;
+  while (attempt <= retry.max_attempts && fault(a, b, attempt)) {
+    ++attempt;
+    metrics.retry_backoff_us->Observe(retry.BackoffUs(attempt, key));
+  }
+  metrics.hit_attempts->Observe(attempt);
+  if (attempt > 1) metrics.hits_retried_total->Inc();
+  return ask();
+}
+
+// Durable-campaign telemetry: checkpoint writes/resumes and the size of
+// each written frontier.
+struct CheckpointMetrics {
+  obs::Counter* writes_total;
+  obs::Counter* resumes_total;
+  obs::Histogram* bytes;
+
+  static CheckpointMetrics& Get() {
+    static CheckpointMetrics metrics{
+        obs::MetricsRegistry::Global().GetCounter(
+            "session.checkpoints_written_total"),
+        obs::MetricsRegistry::Global().GetCounter(
+            "session.checkpoint_resumes_total"),
+        obs::MetricsRegistry::Global().GetHistogram(
+            "session.checkpoint_bytes")};
+    return metrics;
+  }
+};
+
+// The InvalidArgument for multi-threaded schedules on an oracle whose
+// answers depend on global call order (the documented NoisyOracle hazard,
+// now enforced instead of trusted).
+Status CheckBatchSafe(const LabelOracle& oracle, int num_threads) {
+  if (num_threads > 1 && !oracle.IsBatchSafe()) {
+    return Status::InvalidArgument(
+        "oracle is not batch-safe: a multi-threaded schedule would race its "
+        "sequential answer stream; run with num_threads = 1 or use a "
+        "batch-safe oracle such as HashNoisyOracle");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -388,7 +468,12 @@ void LabelingSession::LabelOnePair(const CandidatePair& pair,
     return;
   }
   if (remaining_budget_ > 0) --remaining_budget_;
-  const Label label = oracle.GetLabel(pair.a, pair.b);
+  const auto ask = [&] { return oracle.GetLabel(pair.a, pair.b); };
+  const Label label =
+      options_.attempt_fault
+          ? AskWithRetry(pair.a, pair.b, options_.retry,
+                         options_.attempt_fault, ask)
+          : ask();
   report.outcomes[report_pos] = PairOutcome{label, LabelSource::kCrowdsourced};
   ++report.num_crowdsourced;
   report.crowdsourced_per_iteration.push_back(1);
@@ -416,8 +501,11 @@ Result<LabelingReport> LabelingSession::Run(const CandidateSet& pairs,
       // no virtual rule dispatch — this is what keeps the session within
       // the direct engines' cost (bench/micro_session). Byte-identical to
       // the generic loop below; the equivalence suite pins both.
+      // (A fault model routes through the generic loop: LabelOnePair owns
+      // the retry logic.)
       TransitiveDeductionRule* transitive =
-          rules_.size() == 1 && !options_.stop.bounded()
+          rules_.size() == 1 && !options_.stop.bounded() &&
+                  !options_.attempt_fault
               ? dynamic_cast<TransitiveDeductionRule*>(rules_[0].get())
               : nullptr;
       if (transitive != nullptr) {
@@ -485,6 +573,7 @@ Result<LabelingReport> LabelingSession::RunRoundsWithOracle(
     LabelOracle& oracle) {
   CJ_ASSIGN_OR_RETURN(const ConflictPolicy policy,
                       RequireTransitiveOnlyChain());
+  CJ_RETURN_IF_ERROR(CheckBatchSafe(oracle, options_.num_threads));
   // One pool shared by every round of this run. Created only when real
   // parallelism was requested: the single-threaded path calls the oracle
   // inline in batch order, which keeps order-dependent oracles (e.g.
@@ -504,7 +593,14 @@ Result<LabelingReport> LabelingSession::RunRoundsWithOracle(
         static_cast<int64_t>(batch.size()), [&](int64_t i) {
           const CandidatePair& pair =
               pairs[static_cast<size_t>(batch[static_cast<size_t>(i)])];
-          return oracle.GetLabel(pair.a, pair.b);
+          const auto ask = [&] { return oracle.GetLabel(pair.a, pair.b); };
+          // The whole retry loop runs inside the fan-out task: every
+          // decision in it is a pure hash of the pair, so the outcome is
+          // the same whichever worker runs it.
+          return options_.attempt_fault
+                     ? AskWithRetry(pair.a, pair.b, options_.retry,
+                                    options_.attempt_fault, ask)
+                     : ask();
         });
   };
   CJ_RETURN_IF_ERROR(RunRoundsOver(pairs, order, batch_fn, policy,
@@ -536,15 +632,24 @@ Result<LabelingReport> LabelingSession::RunWithBatchSource(
 
 Result<LabelingReport> LabelingSession::RunStream(
     CandidateStream& stream, OrderKind order_kind, LabelOracle& oracle,
-    const GroundTruthOracle* truth, Rng* order_rng) {
+    const GroundTruthOracle* truth, Rng* order_rng,
+    const SessionCheckpointOptions* checkpoint) {
   if (options_.schedule == SchedulePolicy::kInstantDecision) {
     return Status::InvalidArgument(
         "the instant-decision schedule cannot drive a candidate stream");
   }
+  const bool checkpointing =
+      checkpoint != nullptr && !checkpoint->path.empty();
   BeginRun(/*num_objects=*/0);
   ConflictPolicy policy = ConflictPolicy::kKeepFirst;
   TransitiveDeductionRule* transitive = nullptr;
   if (options_.schedule == SchedulePolicy::kRoundParallel) {
+    CJ_ASSIGN_OR_RETURN(policy, RequireTransitiveOnlyChain());
+    CJ_RETURN_IF_ERROR(CheckBatchSafe(oracle, options_.num_threads));
+    transitive = dynamic_cast<TransitiveDeductionRule*>(rules_[0].get());
+  } else if (checkpointing) {
+    // The frontier persists the cluster graph as its Add log, so the
+    // sequential schedule can only checkpoint a transitive-only chain too.
     CJ_ASSIGN_OR_RETURN(policy, RequireTransitiveOnlyChain());
     transitive = dynamic_cast<TransitiveDeductionRule*>(rules_[0].get());
   }
@@ -557,6 +662,119 @@ Result<LabelingReport> LabelingSession::RunStream(
   SessionMetrics& metrics = SessionMetrics::Get();
   LabelingReport report;
   int32_t num_objects = 0;
+  int64_t completed_rounds = 0;
+  int64_t candidates_consumed = 0;
+  int64_t skip_rounds = 0;
+
+  if (checkpointing) {
+    // Record every Add from here on; the log *is* the durable graph.
+    transitive->mutable_graph().SetEdgeLogEnabled(true);
+    if (checkpoint->resume) {
+      auto loaded = LoadSessionCheckpoint(checkpoint->path);
+      if (loaded.ok()) {
+        const SessionCheckpointState& state = *loaded;
+        if (state.fingerprint != checkpoint->fingerprint) {
+          return Status::FailedPrecondition(StrFormat(
+              "checkpoint %s was written by a different campaign "
+              "(fingerprint %llx, expected %llx); refusing to resume",
+              checkpoint->path.c_str(),
+              static_cast<unsigned long long>(state.fingerprint),
+              static_cast<unsigned long long>(checkpoint->fingerprint)));
+        }
+        // Restore the report-so-far, the budget, the graph (by replaying
+        // the Add log — re-logged as it replays, so the next checkpoint
+        // carries the full history), and the order-RNG stream position.
+        report.num_candidates = state.num_candidates;
+        report.num_crowdsourced = state.num_crowdsourced;
+        report.num_deduced = state.num_deduced;
+        report.num_unlabeled = state.num_unlabeled;
+        report.num_stream_rounds = state.num_stream_rounds;
+        report.crowdsourced_per_iteration = state.crowdsourced_per_iteration;
+        report.outcomes = state.outcomes;
+        remaining_budget_ = state.remaining_budget;
+        num_objects = state.num_objects;
+        for (auto& rule : rules_) rule->EnsureObjects(num_objects);
+        for (const LoggedEdge& edge : state.edge_log) {
+          transitive->mutable_graph().Add(edge.a, edge.b, edge.label);
+        }
+        if (state.has_order_rng && order_rng != nullptr) {
+          order_rng->RestoreState(state.order_rng);
+        }
+        skip_rounds = state.completed_rounds;
+        completed_rounds = state.completed_rounds;
+        // The killed process took its round counters with it: credit the
+        // restored rounds here so the resumed run's exported session.*
+        // totals equal an uninterrupted run's.
+        metrics.rounds_total->Inc(state.completed_rounds);
+        metrics.candidates_total->Inc(state.num_candidates);
+        metrics.oracle_calls_total->Inc(state.num_crowdsourced);
+        metrics.deduced_total->Inc(state.num_deduced);
+        CheckpointMetrics::Get().resumes_total->Inc();
+        // Fast-forward: the stream is deterministic, so the completed
+        // rounds re-emit the same candidates; consume and verify them
+        // without labeling anything (and without touching the order RNG).
+        int64_t skipped_candidates = 0;
+        for (int64_t i = 0; i < skip_rounds; ++i) {
+          CJ_ASSIGN_OR_RETURN(const CandidateSet skipped,
+                              stream.NextRound());
+          if (skipped.empty()) {
+            return Status::FailedPrecondition(
+                "stream exhausted while fast-forwarding past checkpointed "
+                "rounds; the stream does not match the checkpoint");
+          }
+          skipped_candidates += static_cast<int64_t>(skipped.size());
+        }
+        if (skipped_candidates != state.candidates_consumed) {
+          return Status::FailedPrecondition(StrFormat(
+              "stream replayed %lld candidates over the checkpointed "
+              "rounds, expected %lld; the stream does not match the "
+              "checkpoint",
+              static_cast<long long>(skipped_candidates),
+              static_cast<long long>(state.candidates_consumed)));
+        }
+        candidates_consumed = state.candidates_consumed;
+      } else if (loaded.status().code() != StatusCode::kNotFound) {
+        return loaded.status();  // corrupt checkpoint: surface, don't clobber
+      }
+    }
+  }
+
+  // Writes the current frontier after a completed round (no-op between
+  // checkpoint intervals or when checkpointing is off).
+  const auto after_round = [&](size_t round_size) -> Status {
+    ++completed_rounds;
+    candidates_consumed += static_cast<int64_t>(round_size);
+    if (!checkpointing) return Status::OK();
+    const int64_t every =
+        checkpoint->every_rounds < 1 ? 1 : checkpoint->every_rounds;
+    if (completed_rounds % every != 0) return Status::OK();
+    SessionCheckpointState state;
+    state.fingerprint = checkpoint->fingerprint;
+    state.completed_rounds = completed_rounds;
+    state.candidates_consumed = candidates_consumed;
+    state.num_objects = num_objects;
+    state.remaining_budget = remaining_budget_;
+    state.num_candidates = report.num_candidates;
+    state.num_crowdsourced = report.num_crowdsourced;
+    state.num_deduced = report.num_deduced;
+    state.num_unlabeled = report.num_unlabeled;
+    state.num_stream_rounds = report.num_stream_rounds;
+    state.crowdsourced_per_iteration = report.crowdsourced_per_iteration;
+    state.outcomes = report.outcomes;
+    state.edge_log = transitive->graph().edge_log();
+    if (order_rng != nullptr) {
+      state.has_order_rng = true;
+      state.order_rng = order_rng->SaveState();
+    }
+    const std::string encoded = EncodeSessionCheckpoint(state);
+    CJ_RETURN_IF_ERROR(AtomicWriteFile(checkpoint->path, encoded));
+    CheckpointMetrics& ckpt_metrics = CheckpointMetrics::Get();
+    ckpt_metrics.writes_total->Inc();
+    ckpt_metrics.bytes->Observe(static_cast<int64_t>(encoded.size()));
+    if (checkpoint->after_write) checkpoint->after_write(completed_rounds);
+    return Status::OK();
+  };
+
   while (true) {
     CJ_ASSIGN_OR_RETURN(const CandidateSet round, stream.NextRound());
     if (round.empty()) break;  // end of stream
@@ -589,6 +807,7 @@ Result<LabelingReport> LabelingSession::RunStream(
                      offset + static_cast<size_t>(pos), oracle, report);
       }
       record_round();
+      CJ_RETURN_IF_ERROR(after_round(round.size()));
       continue;
     }
 
@@ -610,7 +829,11 @@ Result<LabelingReport> LabelingSession::RunStream(
           static_cast<int64_t>(batch.size()), [&](int64_t i) {
             const CandidatePair& pair =
                 round[static_cast<size_t>(batch[static_cast<size_t>(i)])];
-            return oracle.GetLabel(pair.a, pair.b);
+            const auto ask = [&] { return oracle.GetLabel(pair.a, pair.b); };
+            return options_.attempt_fault
+                       ? AskWithRetry(pair.a, pair.b, options_.retry,
+                                      options_.attempt_fault, ask)
+                       : ask();
           });
     };
     const ClusterGraphSnapshot snapshot =
@@ -629,6 +852,7 @@ Result<LabelingReport> LabelingSession::RunStream(
       }
     }
     record_round();
+    CJ_RETURN_IF_ERROR(after_round(round.size()));
   }
 
   if (options_.schedule == SchedulePolicy::kSequential) {

@@ -14,6 +14,8 @@
 #include "core/labeling_order.h"
 #include "core/labeling_result.h"
 #include "core/oracle.h"
+#include "core/retry_policy.h"
+#include "core/session_checkpoint.h"
 #include "graph/cluster_graph.h"
 
 namespace crowdjoin {
@@ -204,6 +206,15 @@ struct LabelingSessionOptions {
   /// Worker threads for the round-parallel schedule's oracle fan-out;
   /// <= 1 keeps every oracle call on the calling thread, in batch order.
   int num_threads = 1;
+  /// Transient-fault model for crowd asks. Null (the default) means no
+  /// faults and the historical single-attempt path, byte for byte. When
+  /// set, every crowd ask runs under `retry`: attempts that fault consume
+  /// backoff (accounted in crowd.retry_backoff_us, never slept) but no
+  /// oracle call, and the ask past `retry.max_attempts` escalates and
+  /// cannot fault — so with a batch-safe oracle the final labels equal the
+  /// fault-free run's at every thread count (fault-masked equivalence).
+  AttemptFaultFn attempt_fault;
+  RetryPolicy retry;
 };
 
 /// \brief Resolves the labels of one published batch of candidate
@@ -282,10 +293,17 @@ class LabelingSession {
   /// `truth` is required for kOptimal/kWorst orders, `order_rng` for
   /// kRandom (both per `MakeLabelingOrder`). Sequential and round-parallel
   /// schedules only.
-  Result<LabelingReport> RunStream(CandidateStream& stream,
-                                   OrderKind order_kind, LabelOracle& oracle,
-                                   const GroundTruthOracle* truth = nullptr,
-                                   Rng* order_rng = nullptr);
+  ///
+  /// A non-null `checkpoint` with a non-empty path makes the campaign
+  /// durable: the round frontier is written atomically to the checkpoint
+  /// file every `checkpoint->every_rounds` rounds, and (with `resume`) a
+  /// prior run's frontier is restored first — the stream is fast-forwarded
+  /// past the completed rounds and the final report is byte-identical to
+  /// an uninterrupted run. Requires a transitive-only rule chain.
+  Result<LabelingReport> RunStream(
+      CandidateStream& stream, OrderKind order_kind, LabelOracle& oracle,
+      const GroundTruthOracle* truth = nullptr, Rng* order_rng = nullptr,
+      const SessionCheckpointOptions* checkpoint = nullptr);
 
   // --- Incremental protocol (kInstantDecision schedule) ---
   //

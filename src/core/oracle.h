@@ -42,6 +42,12 @@ class LabelOracle {
   /// The label the crowd returns for pair (a, b).
   virtual Label GetLabel(ObjectId a, ObjectId b) = 0;
 
+  /// Whether concurrent `GetLabel` calls are safe and order-independent
+  /// (see the class comment). Sessions running a multi-threaded schedule
+  /// check this and fail fast with `InvalidArgument` rather than silently
+  /// racing a sequential-stream oracle.
+  virtual bool IsBatchSafe() const { return true; }
+
   /// Number of labels served so far (i.e. crowdsourced pairs billed).
   int64_t num_queries() const {
     return num_queries_.load(std::memory_order_relaxed);
@@ -108,6 +114,9 @@ class NoisyOracle : public LabelOracle {
     return rng_.Bernoulli(false_positive_rate_) ? Label::kMatching
                                                 : Label::kNonMatching;
   }
+
+  /// Each answer advances the shared RNG stream: order-dependent, racy.
+  bool IsBatchSafe() const override { return false; }
 
  private:
   const GroundTruthOracle* truth_;

@@ -1,0 +1,74 @@
+#ifndef CROWDJOIN_CORE_RETRY_POLICY_H_
+#define CROWDJOIN_CORE_RETRY_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief Decides whether the crowd attempt number `attempt` (1-based) for
+/// pair (a, b) fails transiently — abandonment, straggling past the HIT
+/// deadline, expiry. A failed attempt costs wall-clock (backoff) but never
+/// produces a label; the caller re-asks under its `RetryPolicy`.
+///
+/// Injected by the crowd layer (see `FaultInjector::AsAttemptFaultFn` in
+/// crowd/faults.h); `core` only sees this closure so the dependency arrow
+/// keeps pointing crowd → core. A null function means no faults: the
+/// labeling drivers then take their historical single-attempt path, byte
+/// for byte.
+using AttemptFaultFn = std::function<bool(ObjectId a, ObjectId b, int attempt)>;
+
+/// \brief Knobs for re-asking a pair whose crowd attempt failed.
+///
+/// The backoff schedule is classic exponential-with-jitter, but the jitter
+/// is *deterministic*: a pure hash of (seed, pair, attempt), never a shared
+/// RNG stream, so retry timing is identical across runs and thread counts.
+/// In simulation the backoff is accounted (crowd.retry_backoff_us) rather
+/// than slept.
+struct RetryPolicy {
+  /// Attempts that may fault. Once a pair has burned through
+  /// `max_attempts` transient failures the next ask is escalated to a
+  /// trusted path that cannot fault (in simulation: the oracle answers
+  /// unconditionally), so campaigns always terminate and transient faults
+  /// are fully masked.
+  int max_attempts = 4;
+
+  /// First retry waits `base_backoff_us`, then multiplies per attempt.
+  int64_t base_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+
+  /// Uniform jitter as a fraction of the computed backoff, in
+  /// [1 - jitter, 1 + jitter]. Deterministic per (seed, key, attempt).
+  double jitter_fraction = 0.25;
+
+  /// Seed for the jitter hash. The orchestrator defaults this to the
+  /// campaign seed so one knob reproduces a whole run.
+  uint64_t seed = 0;
+
+  /// Majority-vote margin at or below which the orchestrator re-asks a
+  /// HIT's conflicting pair (|matching − non-matching votes| ≤ margin).
+  /// 0 disables quorum re-asks.
+  int reask_margin = 0;
+
+  /// Backoff before retry number `attempt` (attempt ≥ 2; attempt 1 is the
+  /// initial ask and waits nothing) for the retry stream identified by
+  /// `key` (e.g. a hash of the pair). Deterministic.
+  int64_t BackoffUs(int attempt, uint64_t key) const {
+    if (attempt <= 1) return 0;
+    double backoff = static_cast<double>(base_backoff_us);
+    for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+    uint64_t state = seed ^ (key * 0x9E3779B97F4A7C15ull) ^
+                     static_cast<uint64_t>(attempt);
+    const uint64_t h = SplitMix64(state);
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    const double jitter = 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+    return static_cast<int64_t>(backoff * jitter);
+  }
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CORE_RETRY_POLICY_H_

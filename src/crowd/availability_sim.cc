@@ -38,9 +38,24 @@ int32_t TakeNext(std::vector<int32_t>& available, const CandidateSet& pairs,
 Result<std::vector<AvailabilityPoint>> SimulateAvailability(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     LabelOracle& oracle, PublicationPolicy publication_policy,
-    CompletionOrder completion_order, Rng& rng) {
+    CompletionOrder completion_order, Rng& rng,
+    const FaultInjector* faults, const RetryPolicy* retry) {
   std::vector<AvailabilityPoint> series;
   int64_t num_crowdsourced = 0;
+  int64_t num_abandoned = 0;
+
+  // Per-position pickup attempts (1-based), keying the transient fault
+  // coins so a re-published pair flips a fresh coin each pickup.
+  std::vector<int> attempts(pairs.size(), 0);
+  const auto pickup_abandoned = [&](int32_t pos) {
+    if (faults == nullptr) return false;
+    const int attempt = ++attempts[static_cast<size_t>(pos)];
+    if (retry != nullptr && attempt > retry->max_attempts) {
+      return false;  // escalation: the capped attempt cannot fault
+    }
+    const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
+    return faults->PairAttemptFails(pair.a, pair.b, attempt);
+  };
 
   if (publication_policy == PublicationPolicy::kRoundParallel) {
     std::vector<std::optional<Label>> labels(pairs.size());
@@ -53,11 +68,22 @@ Result<std::vector<AvailabilityPoint>> SimulateAvailability(
       while (!available.empty()) {
         const int32_t pos =
             TakeNext(available, pairs, completion_order, rng);
+        if (pickup_abandoned(pos)) {
+          // The worker walked away: the pair is re-published immediately
+          // and stays available for the next pickup.
+          available.push_back(pos);
+          ++num_abandoned;
+          series.push_back({num_crowdsourced,
+                            static_cast<int64_t>(available.size()),
+                            num_abandoned});
+          continue;
+        }
         const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
         labels[static_cast<size_t>(pos)] = oracle.GetLabel(pair.a, pair.b);
         ++num_crowdsourced;
-        series.push_back(
-            {num_crowdsourced, static_cast<int64_t>(available.size())});
+        series.push_back({num_crowdsourced,
+                          static_cast<int64_t>(available.size()),
+                          num_abandoned});
       }
       // Deduce what became deducible before the next round (Algorithm 2).
       ClusterGraph graph(NumObjectsSpanned(pairs));
@@ -88,14 +114,23 @@ Result<std::vector<AvailabilityPoint>> SimulateAvailability(
                       session.Start(&pairs, order));
   while (!available.empty()) {
     const int32_t pos = TakeNext(available, pairs, completion_order, rng);
+    if (pickup_abandoned(pos)) {
+      available.push_back(pos);
+      ++num_abandoned;
+      series.push_back({num_crowdsourced,
+                        static_cast<int64_t>(available.size()),
+                        num_abandoned});
+      continue;
+    }
     const CandidatePair& pair = pairs[static_cast<size_t>(pos)];
     const Label label = oracle.GetLabel(pair.a, pair.b);
     ++num_crowdsourced;
     CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
                         session.OnPairLabeled(pos, label));
     available.insert(available.end(), fresh.begin(), fresh.end());
-    series.push_back(
-        {num_crowdsourced, static_cast<int64_t>(available.size())});
+    series.push_back({num_crowdsourced,
+                      static_cast<int64_t>(available.size()),
+                      num_abandoned});
   }
   return series;
 }

@@ -8,6 +8,8 @@
 #include "common/rng.h"
 #include "core/candidate.h"
 #include "core/oracle.h"
+#include "core/retry_policy.h"
+#include "crowd/faults.h"
 
 namespace crowdjoin {
 
@@ -27,10 +29,12 @@ enum class CompletionOrder : uint8_t {
   kNonMatchingFirst = 1,  ///< lowest match-likelihood first ("NF")
 };
 
-/// One point of the Figure 15 series, recorded after every completion.
+/// One point of the Figure 15 series, recorded after every completion
+/// (abandonments included — an abandoned pickup is a visible event).
 struct AvailabilityPoint {
   int64_t num_crowdsourced = 0;  ///< pairs labeled by the crowd so far
   int64_t num_available = 0;     ///< published, not-yet-labeled pairs
+  int64_t num_abandoned = 0;     ///< abandoned pickups so far (faults)
 };
 
 /// \brief Pair-granular simulation of platform availability (Figure 15).
@@ -39,10 +43,21 @@ struct AvailabilityPoint {
 /// available (published, unlabeled) set according to `completion_order`,
 /// while the publication policy decides when new pairs are published.
 /// Returns the availability time series; `oracle` provides the labels.
+///
+/// A non-null `faults` consults the injector's per-pair transient model
+/// before each completion: a faulted pickup is abandoned — the pair goes
+/// straight back into the available pool and a point is recorded — and
+/// the next pickup of that pair flips a fresh attempt coin. `retry`
+/// (optional) caps attempts per pair: the attempt after
+/// `retry->max_attempts` faults is an escalation and always completes,
+/// mirroring the labeling session's retry loop. Null `faults` leaves the
+/// simulation byte-identical to the fault-free code.
 Result<std::vector<AvailabilityPoint>> SimulateAvailability(
     const CandidateSet& pairs, const std::vector<int32_t>& order,
     LabelOracle& oracle, PublicationPolicy publication_policy,
-    CompletionOrder completion_order, Rng& rng);
+    CompletionOrder completion_order, Rng& rng,
+    const FaultInjector* faults = nullptr,
+    const RetryPolicy* retry = nullptr);
 
 }  // namespace crowdjoin
 

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "core/retry_policy.h"
+#include "crowd/faults.h"
+
 namespace crowdjoin {
 
 /// \brief Parameters of the simulated crowdsourcing platform (AMT stand-in).
@@ -42,6 +45,16 @@ struct CrowdConfig {
   int num_threads = 1;
 
   uint64_t seed = 7;
+
+  /// What goes wrong (worker abandonment, stragglers, spammers, HIT
+  /// expiry, flaky publishes). Every field defaults to off; a disabled
+  /// plan leaves the simulation byte-identical to the pre-fault code.
+  FaultPlan faults;
+
+  /// How the campaign recovers: attempt cap, exponential backoff with
+  /// seeded jitter, and the re-ask quorum margin. `retry.seed == 0` means
+  /// "derive from the campaign seed" wherever a campaign wires this up.
+  RetryPolicy retry;
 };
 
 }  // namespace crowdjoin

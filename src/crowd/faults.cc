@@ -1,0 +1,96 @@
+#include "crowd/faults.h"
+
+#include "common/rng.h"
+
+namespace crowdjoin {
+
+namespace {
+
+// Domain-separation tags: each decision type draws from its own coin
+// family so, e.g., the spammer coin for worker 3 is independent of the
+// straggler coin for worker 3.
+constexpr uint64_t kTagSpammer = 1;
+constexpr uint64_t kTagStraggler = 2;
+constexpr uint64_t kTagAbandon = 3;
+constexpr uint64_t kTagPairAttempt = 4;
+constexpr uint64_t kTagPairExpiry = 5;
+constexpr uint64_t kTagPublish = 6;
+
+}  // namespace
+
+double FaultInjector::HashUniform(uint64_t tag, uint64_t k1, uint64_t k2,
+                                  uint64_t k3) const {
+  uint64_t state = plan_.seed;
+  uint64_t h = SplitMix64(state);
+  state = h ^ tag;
+  h = SplitMix64(state);
+  state = h ^ k1;
+  h = SplitMix64(state);
+  state = h ^ k2;
+  h = SplitMix64(state);
+  state = h ^ k3;
+  h = SplitMix64(state);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::WorkerIsSpammer(int worker) const {
+  if (plan_.spammer_rate <= 0.0) return false;
+  return HashUniform(kTagSpammer, static_cast<uint64_t>(worker), 0, 0) <
+         plan_.spammer_rate;
+}
+
+double FaultInjector::WorkerServiceMultiplier(int worker) const {
+  if (plan_.straggler_rate <= 0.0) return 1.0;
+  const bool straggles =
+      HashUniform(kTagStraggler, static_cast<uint64_t>(worker), 0, 0) <
+      plan_.straggler_rate;
+  return straggles ? plan_.straggler_multiplier : 1.0;
+}
+
+bool FaultInjector::AssignmentAbandoned(uint64_t hit_key, int worker,
+                                        int attempt) const {
+  if (plan_.abandonment_rate <= 0.0) return false;
+  return HashUniform(kTagAbandon, hit_key, static_cast<uint64_t>(worker),
+                     static_cast<uint64_t>(attempt)) < plan_.abandonment_rate;
+}
+
+bool FaultInjector::PairAttemptFails(ObjectId a, ObjectId b,
+                                     int attempt) const {
+  const ObjectId lo = a < b ? a : b;
+  const ObjectId hi = a < b ? b : a;
+  const uint64_t klo = static_cast<uint64_t>(static_cast<uint32_t>(lo));
+  const uint64_t khi = static_cast<uint64_t>(static_cast<uint32_t>(hi));
+  const uint64_t kattempt = static_cast<uint64_t>(attempt);
+  if (plan_.abandonment_rate > 0.0 &&
+      HashUniform(kTagPairAttempt, klo, khi, kattempt) <
+          plan_.abandonment_rate) {
+    return true;
+  }
+  // With a deadline configured, an attempt that lands on a straggler blows
+  // it and the HIT expires unanswered.
+  if (plan_.hit_expiry_hours > 0.0 && plan_.straggler_rate > 0.0 &&
+      HashUniform(kTagPairExpiry, klo, khi, kattempt) < plan_.straggler_rate) {
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::PublishFails(uint64_t publish_seq, int attempt) const {
+  if (plan_.publish_failure_rate <= 0.0) return false;
+  return HashUniform(kTagPublish, publish_seq, static_cast<uint64_t>(attempt),
+                     0) < plan_.publish_failure_rate;
+}
+
+AttemptFaultFn FaultInjector::AsAttemptFaultFn() const {
+  const bool has_pair_faults =
+      plan_.abandonment_rate > 0.0 ||
+      (plan_.hit_expiry_hours > 0.0 && plan_.straggler_rate > 0.0);
+  if (!has_pair_faults) return nullptr;
+  // Capture by value: the closure outlives this injector.
+  FaultInjector copy = *this;
+  return [copy](ObjectId a, ObjectId b, int attempt) {
+    return copy.PairAttemptFails(a, b, attempt);
+  };
+}
+
+}  // namespace crowdjoin

@@ -1,0 +1,116 @@
+#ifndef CROWDJOIN_CROWD_FAULTS_H_
+#define CROWDJOIN_CROWD_FAULTS_H_
+
+#include <cstdint>
+
+#include "core/retry_policy.h"
+#include "graph/label.h"
+
+namespace crowdjoin {
+
+/// \brief Seeded description of what goes wrong in a crowd campaign.
+///
+/// The simulated marketplace is perfectly reliable by default; a
+/// `FaultPlan` makes it misbehave in the ways live microtask markets do
+/// (Marcus et al., "Human-powered Sorts and Joins"): workers walk away from
+/// accepted assignments, a slice of the pool straggles, a slice spams
+/// (inverts answers), HITs expire, and publish calls flake. Every field
+/// defaults to "off", and a disabled plan is guaranteed byte-identical to
+/// the pre-fault simulator: all fault decisions are pure hashes of
+/// (fault seed, identifiers), so no RNG stream is consumed — not even
+/// zero-probability coins perturb existing draws.
+struct FaultPlan {
+  /// Seed for every fault coin. Independent of the campaign seed so the
+  /// same workload can be replayed under different fault weather.
+  uint64_t seed = 0;
+
+  /// Probability an accepted assignment is abandoned: the worker's time is
+  /// spent but no answers come back, and the assignment slot reopens.
+  double abandonment_rate = 0.0;
+
+  /// Fraction of workers that straggle, and how much slower they are.
+  /// Stragglers multiply their per-assignment service time; with an expiry
+  /// deadline set they are the workers that blow it.
+  double straggler_rate = 0.0;
+  double straggler_multiplier = 4.0;
+
+  /// Fraction of workers that spam: they invert every answer they give.
+  /// Spam is *not* transient — retrying the same worker re-inverts — so it
+  /// is excluded from the fault-masked equivalence guarantee and instead
+  /// mitigated by majority voting plus `RetryPolicy::reask_margin`.
+  double spammer_rate = 0.0;
+
+  /// HITs unanswered this many simulated hours after publication expire
+  /// and must be reposted. 0 disables expiry.
+  double hit_expiry_hours = 0.0;
+
+  /// Probability one `PublishHit` call fails transiently.
+  double publish_failure_rate = 0.0;
+
+  /// True when any fault is switched on.
+  bool enabled() const {
+    return abandonment_rate > 0.0 || straggler_rate > 0.0 ||
+           spammer_rate > 0.0 || hit_expiry_hours > 0.0 ||
+           publish_failure_rate > 0.0;
+  }
+
+  /// True when the plan injects only transient faults — the precondition
+  /// for fault-masked equivalence (retries provably reproduce the
+  /// fault-free labels). Spam is the one persistent fault.
+  bool transient_only() const { return spammer_rate == 0.0; }
+};
+
+/// \brief Turns a `FaultPlan` into concrete deterministic decisions.
+///
+/// Every decision is a counter-based coin: SplitMix64 chained over
+/// (plan seed, a domain tag, the identifying keys), following the
+/// `HashNoisyOracle` construction. Decisions are therefore independent of
+/// call order, thread count, and of each other, and asking the same
+/// question twice gives the same answer — which is what makes fault runs
+/// replayable and the determinism suite possible.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+  bool enabled() const { return plan_.enabled(); }
+
+  /// Whether worker `worker` is a spammer (inverts every answer).
+  bool WorkerIsSpammer(int worker) const;
+
+  /// Service-time multiplier for `worker`: `straggler_multiplier` when the
+  /// worker straggles, 1.0 otherwise.
+  double WorkerServiceMultiplier(int worker) const;
+
+  /// Whether `worker`'s acceptance of HIT `hit_key` is abandoned.
+  /// `attempt` distinguishes re-acceptances after earlier abandonments of
+  /// the same (hit, worker): keying it in guarantees a worker does not
+  /// abandon the same HIT forever.
+  bool AssignmentAbandoned(uint64_t hit_key, int worker, int attempt) const;
+
+  /// Whether crowd attempt `attempt` (1-based) at pair (a, b) fails
+  /// transiently — the abandonment coin, or the straggler-blows-deadline
+  /// coin when an expiry is configured. This is the per-pair fault model
+  /// the `LabelingSession` retry loop consults; the pair is normalized so
+  /// (a, b) and (b, a) share fate.
+  bool PairAttemptFails(ObjectId a, ObjectId b, int attempt) const;
+
+  /// Whether publish call number `publish_seq`, attempt `attempt`, fails.
+  bool PublishFails(uint64_t publish_seq, int attempt) const;
+
+  /// This injector's pair-attempt model as the closure `core` understands.
+  /// Null when the plan has no transient per-pair faults, so sessions keep
+  /// their historical single-attempt path.
+  AttemptFaultFn AsAttemptFaultFn() const;
+
+ private:
+  /// Uniform [0, 1) from a SplitMix64 chain over (seed, tag, k1, k2, k3).
+  double HashUniform(uint64_t tag, uint64_t k1, uint64_t k2,
+                     uint64_t k3) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace crowdjoin
+
+#endif  // CROWDJOIN_CROWD_FAULTS_H_

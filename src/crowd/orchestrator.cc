@@ -1,10 +1,14 @@
 #include "crowd/orchestrator.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <deque>
 #include <unordered_map>
+#include <utility>
 
 #include "common/macros.h"
 #include "crowd/platform.h"
+#include "obs/metrics.h"
 
 namespace crowdjoin {
 
@@ -32,9 +36,172 @@ LabelingSession MakeInstantSession() {
   return LabelingSession(options);
 }
 
+// Recovery-path telemetry for the HIT pump.
+struct PumpMetrics {
+  obs::Counter* publish_retries_total;
+  obs::Counter* hits_reposted_total;
+  obs::Counter* reask_hits_total;
+  obs::Histogram* retry_backoff_us;
+
+  static PumpMetrics& Get() {
+    static PumpMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PumpMetrics{registry.GetCounter("crowd.publish_retries_total"),
+                         registry.GetCounter("crowd.hits_reposted_total"),
+                         registry.GetCounter("crowd.reask_hits_total"),
+                         registry.GetHistogram("crowd.retry_backoff_us")};
+    }();
+    return metrics;
+  }
+};
+
+/// \brief The fault-recovery pump every AMT campaign publishes through.
+///
+/// Wraps a `CrowdPlatform` and turns its raw HIT completions into *final*
+/// per-pair answers: transient publish failures are retried (exponential
+/// backoff, accounted but never slept — simulated time belongs to the
+/// platform), expired HITs are reposted up to `retry.max_attempts`, and
+/// pairs whose vote margin is within `retry.reask_margin` of a tie are
+/// republished once and finalized by combined majority over both HITs'
+/// assignments. With no fault plan and `reask_margin == 0` every branch
+/// is dead and the pump is a pass-through — campaigns without faults are
+/// byte-identical to the pre-fault code.
+class HitDriver {
+ public:
+  HitDriver(CrowdPlatform& platform, const CrowdConfig& config)
+      : platform_(platform), retry_(config.retry) {
+    if (retry_.seed == 0) retry_.seed = config.seed;
+  }
+
+  /// Publishes one HIT, retrying transient (`kInternal`) failures.
+  Status Publish(std::vector<PairTask> tasks) {
+    Pending pending;
+    pending.tasks = std::move(tasks);
+    return PublishTracked(std::move(pending));
+  }
+
+  /// HITs published (or republished) and not yet finalized.
+  bool HasInFlight() const { return in_flight_ > 0; }
+
+  /// Runs the platform until at least one pair answer becomes final and
+  /// returns that batch; empty when nothing is in flight.
+  Result<std::vector<CompletedPair>> WaitNextBatch();
+
+  int64_t num_publish_retries() const { return num_publish_retries_; }
+  int64_t num_hits_reposted() const { return num_hits_reposted_; }
+  int64_t num_reask_hits() const { return num_reask_hits_; }
+
+ private:
+  struct Pending {
+    std::vector<PairTask> tasks;
+    int attempt = 1;     // repost attempts after expiry
+    bool is_reask = false;
+    // Reask HITs carry the original HIT's votes, merged at finalize.
+    std::vector<int> prior_votes;
+    int prior_assignments = 0;
+  };
+
+  Status PublishTracked(Pending pending);
+
+  CrowdPlatform& platform_;
+  RetryPolicy retry_;
+  std::unordered_map<int64_t, Pending> pending_;
+  int64_t in_flight_ = 0;
+  int64_t num_publish_retries_ = 0;
+  int64_t num_hits_reposted_ = 0;
+  int64_t num_reask_hits_ = 0;
+};
+
+Status HitDriver::PublishTracked(Pending pending) {
+  int attempt = 1;
+  while (true) {
+    Result<int64_t> published = platform_.PublishHit(pending.tasks);
+    if (published.ok()) {
+      pending_.emplace(*published, std::move(pending));
+      ++in_flight_;
+      return Status::OK();
+    }
+    if (published.status().code() != StatusCode::kInternal ||
+        attempt >= retry_.max_attempts) {
+      return published.status();
+    }
+    ++attempt;
+    ++num_publish_retries_;
+    PumpMetrics& metrics = PumpMetrics::Get();
+    metrics.publish_retries_total->Inc();
+    metrics.retry_backoff_us->Observe(retry_.BackoffUs(
+        attempt, static_cast<uint64_t>(pending.tasks.front().position)));
+  }
+}
+
+Result<std::vector<CompletedPair>> HitDriver::WaitNextBatch() {
+  while (in_flight_ > 0) {
+    const std::optional<HitResult> completed =
+        platform_.RunUntilNextHitCompletion();
+    // In-flight HITs always have pending events: abandonment immediately
+    // reschedules the reopened slot and expiry surfaces exactly one
+    // (expired) result, so the platform cannot go idle under us.
+    CJ_CHECK(completed.has_value());
+    const auto it = pending_.find(completed->hit_id);
+    CJ_CHECK(it != pending_.end());
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+    --in_flight_;
+
+    if (completed->expired && pending.attempt < retry_.max_attempts) {
+      ++num_hits_reposted_;
+      PumpMetrics& metrics = PumpMetrics::Get();
+      metrics.hits_reposted_total->Inc();
+      metrics.retry_backoff_us->Observe(retry_.BackoffUs(
+          pending.attempt + 1,
+          static_cast<uint64_t>(pending.tasks.front().position)));
+      ++pending.attempt;
+      CJ_RETURN_IF_ERROR(PublishTracked(std::move(pending)));
+      continue;
+    }
+
+    CJ_CHECK(completed->pairs.size() == pending.tasks.size());
+    std::vector<CompletedPair> final_pairs;
+    Pending reask;
+    const int total_assignments =
+        completed->num_assignments + pending.prior_assignments;
+    for (size_t t = 0; t < completed->pairs.size(); ++t) {
+      const int votes = completed->pairs[t].matching_votes +
+                        (pending.is_reask
+                             ? pending.prior_votes[static_cast<size_t>(t)]
+                             : 0);
+      // A first-round pair too close to a tie gets one extra HIT's worth
+      // of assignments before its label is trusted. Expired partials and
+      // reask results themselves are final — re-asking those again could
+      // ping-pong forever.
+      if (!pending.is_reask && !completed->expired &&
+          retry_.reask_margin > 0 &&
+          std::abs(2 * votes - total_assignments) <= retry_.reask_margin) {
+        reask.tasks.push_back(pending.tasks[t]);
+        reask.prior_votes.push_back(votes);
+        continue;
+      }
+      final_pairs.push_back({completed->pairs[t].position,
+                             2 * votes > total_assignments
+                                 ? Label::kMatching
+                                 : Label::kNonMatching,
+                             votes});
+    }
+    if (!reask.tasks.empty()) {
+      reask.is_reask = true;
+      reask.prior_assignments = completed->num_assignments;
+      ++num_reask_hits_;
+      PumpMetrics::Get().reask_hits_total->Inc();
+      CJ_RETURN_IF_ERROR(PublishTracked(std::move(reask)));
+    }
+    if (!final_pairs.empty()) return final_pairs;
+  }
+  return std::vector<CompletedPair>{};
+}
+
 // Copies a fully-labeled report's labels into the campaign stats.
 void FillAmtStats(const LabelingReport& report, CrowdPlatform& platform,
-                  AmtRunStats& stats) {
+                  const HitDriver& driver, AmtRunStats& stats) {
   stats.final_labels.reserve(report.outcomes.size());
   for (const std::optional<PairOutcome>& outcome : report.outcomes) {
     CJ_CHECK(outcome.has_value());
@@ -46,6 +213,11 @@ void FillAmtStats(const LabelingReport& report, CrowdPlatform& platform,
   stats.total_cost_cents = platform.total_cost_cents();
   stats.num_crowdsourced_pairs = report.num_crowdsourced;
   stats.num_deduced_pairs = report.num_deduced;
+  stats.num_publish_retries = driver.num_publish_retries();
+  stats.num_hits_reposted = driver.num_hits_reposted();
+  stats.num_reask_hits = driver.num_reask_hits();
+  stats.num_assignments_abandoned = platform.num_assignments_abandoned();
+  stats.num_hits_expired = platform.num_hits_expired();
 }
 
 }  // namespace
@@ -54,21 +226,22 @@ Result<AmtRunStats> RunNonTransitiveAmt(const CandidateSet& pairs,
                                         const CrowdConfig& config,
                                         const GroundTruthOracle& truth) {
   CrowdPlatform platform(config, &truth);
+  HitDriver driver(platform, config);
   std::deque<int32_t> queue;
   for (size_t i = 0; i < pairs.size(); ++i) {
     queue.push_back(static_cast<int32_t>(i));
   }
   while (!queue.empty()) {
-    CJ_ASSIGN_OR_RETURN(
-        int64_t hit_id,
-        platform.PublishHit(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
-    (void)hit_id;
+    CJ_RETURN_IF_ERROR(
+        driver.Publish(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
   }
 
   AmtRunStats stats;
   stats.final_labels.assign(pairs.size(), Label::kNonMatching);
-  while (auto result = platform.RunUntilNextHitCompletion()) {
-    for (const CompletedPair& pair : result->pairs) {
+  while (driver.HasInFlight()) {
+    CJ_ASSIGN_OR_RETURN(const std::vector<CompletedPair> batch,
+                        driver.WaitNextBatch());
+    for (const CompletedPair& pair : batch) {
       stats.final_labels[static_cast<size_t>(pair.position)] = pair.label;
     }
   }
@@ -78,6 +251,11 @@ Result<AmtRunStats> RunNonTransitiveAmt(const CandidateSet& pairs,
   stats.total_cost_cents = platform.total_cost_cents();
   stats.num_crowdsourced_pairs = static_cast<int64_t>(pairs.size());
   stats.num_deduced_pairs = 0;
+  stats.num_publish_retries = driver.num_publish_retries();
+  stats.num_hits_reposted = driver.num_hits_reposted();
+  stats.num_reask_hits = driver.num_reask_hits();
+  stats.num_assignments_abandoned = platform.num_assignments_abandoned();
+  stats.num_hits_expired = platform.num_hits_expired();
   return stats;
 }
 
@@ -86,6 +264,7 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
                                      const CrowdConfig& config,
                                      const GroundTruthOracle& truth) {
   CrowdPlatform platform(config, &truth);
+  HitDriver driver(platform, config);
   LabelingSession session = MakeInstantSession();
   std::deque<int32_t> buffer;
 
@@ -93,29 +272,21 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
                       session.Start(&pairs, order));
   buffer.insert(buffer.end(), initial.begin(), initial.end());
 
-  int64_t in_flight = 0;
   while (true) {
     // Publish full HITs; flush a partial HIT only when the platform would
     // otherwise go idle (nothing in flight to produce more work).
     while (static_cast<int>(buffer.size()) >= config.pairs_per_hit) {
-      CJ_ASSIGN_OR_RETURN(int64_t hit_id,
-                          platform.PublishHit(TakeHitTasks(
-                              pairs, buffer, config.pairs_per_hit)));
-      (void)hit_id;
-      ++in_flight;
+      CJ_RETURN_IF_ERROR(
+          driver.Publish(TakeHitTasks(pairs, buffer, config.pairs_per_hit)));
     }
-    if (in_flight == 0) {
+    if (!driver.HasInFlight()) {
       if (buffer.empty()) break;  // campaign complete
-      CJ_ASSIGN_OR_RETURN(int64_t hit_id,
-                          platform.PublishHit(TakeHitTasks(
-                              pairs, buffer, config.pairs_per_hit)));
-      (void)hit_id;
-      ++in_flight;
+      CJ_RETURN_IF_ERROR(
+          driver.Publish(TakeHitTasks(pairs, buffer, config.pairs_per_hit)));
     }
-    auto result = platform.RunUntilNextHitCompletion();
-    CJ_CHECK(result.has_value());  // in_flight > 0 implies pending work
-    --in_flight;
-    for (const CompletedPair& pair : result->pairs) {
+    CJ_ASSIGN_OR_RETURN(const std::vector<CompletedPair> batch,
+                        driver.WaitNextBatch());
+    for (const CompletedPair& pair : batch) {
       CJ_ASSIGN_OR_RETURN(const std::vector<int32_t> fresh,
                           session.OnPairLabeled(pair.position, pair.label));
       buffer.insert(buffer.end(), fresh.begin(), fresh.end());
@@ -124,7 +295,7 @@ Result<AmtRunStats> RunTransitiveAmt(const CandidateSet& pairs,
 
   CJ_ASSIGN_OR_RETURN(const LabelingReport labeling, session.Finish());
   AmtRunStats stats;
-  FillAmtStats(labeling, platform, stats);
+  FillAmtStats(labeling, platform, driver, stats);
   return stats;
 }
 
@@ -133,6 +304,7 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
                                    const CrowdConfig& config,
                                    const GroundTruthOracle& truth) {
   CrowdPlatform platform(config, &truth);
+  HitDriver driver(platform, config);
   // Label resolution comes from the platform (which already services a
   // round's HITs concurrently via the simulated worker pool), so the
   // session is constructed without a thread count — config.num_threads
@@ -148,28 +320,23 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
               -> Result<std::vector<Label>> {
             // Publish the whole round simultaneously, batched into HITs.
             std::deque<int32_t> queue(batch.begin(), batch.end());
-            int64_t in_flight = 0;
             while (!queue.empty()) {
-              CJ_ASSIGN_OR_RETURN(
-                  int64_t hit_id,
-                  platform.PublishHit(
-                      TakeHitTasks(pairs, queue, config.pairs_per_hit)));
-              (void)hit_id;
-              ++in_flight;
+              CJ_RETURN_IF_ERROR(driver.Publish(
+                  TakeHitTasks(pairs, queue, config.pairs_per_hit)));
             }
-            // Algorithm 2's round barrier: wait for every HIT before the
-            // deduction scan, collecting majority votes by batch slot.
+            // Algorithm 2's round barrier: wait for every HIT (including
+            // reposts and re-asks) before the deduction scan, collecting
+            // final votes by batch slot.
             std::unordered_map<int32_t, size_t> slot_of;
             for (size_t i = 0; i < batch.size(); ++i) {
               slot_of[batch[i]] = i;
             }
             std::vector<Label> labels(batch.size(), Label::kNonMatching);
             size_t num_answered = 0;
-            while (in_flight > 0) {
-              auto completed = platform.RunUntilNextHitCompletion();
-              CJ_CHECK(completed.has_value());
-              --in_flight;
-              for (const CompletedPair& pair : completed->pairs) {
+            while (driver.HasInFlight()) {
+              CJ_ASSIGN_OR_RETURN(const std::vector<CompletedPair> finals,
+                                  driver.WaitNextBatch());
+              for (const CompletedPair& pair : finals) {
                 const auto it = slot_of.find(pair.position);
                 CJ_CHECK(it != slot_of.end());
                 labels[it->second] = pair.label;
@@ -183,7 +350,7 @@ Result<AmtRunStats> RunParallelAmt(const CandidateSet& pairs,
           }));
 
   AmtRunStats stats;
-  FillAmtStats(labeling, platform, stats);
+  FillAmtStats(labeling, platform, driver, stats);
   return stats;
 }
 
@@ -193,6 +360,14 @@ Result<LabelingReport> RunLocalParallelLabeling(
   LabelingSessionOptions session_options;
   session_options.schedule = SchedulePolicy::kRoundParallel;
   session_options.num_threads = config.num_threads;
+  if (config.faults.enabled()) {
+    const FaultInjector injector(config.faults);
+    session_options.attempt_fault = injector.AsAttemptFaultFn();
+    session_options.retry = config.retry;
+    if (session_options.retry.seed == 0) {
+      session_options.retry.seed = config.seed;
+    }
+  }
   LabelingSession session(session_options);
   if (config.false_negative_rate == 0.0 &&
       config.false_positive_rate == 0.0) {
@@ -232,20 +407,33 @@ Result<StreamingCampaignStats> RunStreamingCampaign(
     LabelingSessionOptions session_options;
     session_options.schedule = SchedulePolicy::kRoundParallel;
     session_options.num_threads = config.crowd.num_threads;
+    if (config.crowd.faults.enabled()) {
+      // The per-pair transient fault model: faulted attempts burn backoff
+      // (and retry accounting) but never an oracle call, so a transient-
+      // only plan reproduces the fault-free labels exactly.
+      const FaultInjector injector(config.crowd.faults);
+      session_options.attempt_fault = injector.AsAttemptFaultFn();
+      session_options.retry = config.crowd.retry;
+      if (session_options.retry.seed == 0) {
+        session_options.retry.seed = config.crowd.seed;
+      }
+    }
+    const SessionCheckpointOptions* checkpoint =
+        config.checkpoint.path.empty() ? nullptr : &config.checkpoint;
     LabelingSession session(session_options);
     if (config.crowd.false_negative_rate == 0.0 &&
         config.crowd.false_positive_rate == 0.0) {
       GroundTruthOracle oracle = truth;
       CJ_ASSIGN_OR_RETURN(stats.labeling,
                           session.RunStream(*feed, config.order, oracle,
-                                            &truth, &order_rng));
+                                            &truth, &order_rng, checkpoint));
     } else {
       HashNoisyOracle oracle(&truth, config.crowd.false_negative_rate,
                              config.crowd.false_positive_rate,
                              config.crowd.seed);
       CJ_ASSIGN_OR_RETURN(stats.labeling,
                           session.RunStream(*feed, config.order, oracle,
-                                            &truth, &order_rng));
+                                            &truth, &order_rng, checkpoint));
     }
     stats.num_candidates = feed->num_candidates();
     return stats;
@@ -296,19 +484,21 @@ Result<AmtRunStats> RunNonParallelAmt(const CandidateSet& pairs,
 
   // Publish those HITs strictly one at a time.
   CrowdPlatform platform(config, &truth);
+  HitDriver driver(platform, config);
   std::deque<int32_t> queue(crowdsourced_sequence.begin(),
                             crowdsourced_sequence.end());
   while (!queue.empty()) {
-    CJ_ASSIGN_OR_RETURN(
-        int64_t hit_id,
-        platform.PublishHit(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
-    (void)hit_id;
-    auto result = platform.RunUntilNextHitCompletion();
-    CJ_CHECK(result.has_value());
+    CJ_RETURN_IF_ERROR(
+        driver.Publish(TakeHitTasks(pairs, queue, config.pairs_per_hit)));
+    while (driver.HasInFlight()) {
+      CJ_ASSIGN_OR_RETURN(const std::vector<CompletedPair> batch,
+                          driver.WaitNextBatch());
+      (void)batch;
+    }
   }
 
   AmtRunStats stats;
-  FillAmtStats(labeling, platform, stats);
+  FillAmtStats(labeling, platform, driver, stats);
   return stats;
 }
 

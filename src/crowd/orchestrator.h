@@ -29,6 +29,13 @@ struct AmtRunStats {
   /// Final label per candidate position (crowd answers where crowdsourced,
   /// transitive deductions elsewhere).
   std::vector<Label> final_labels;
+
+  // Fault-recovery accounting (all zero without a fault plan).
+  int64_t num_publish_retries = 0;       ///< transient publish failures retried
+  int64_t num_hits_reposted = 0;         ///< expired HITs republished
+  int64_t num_reask_hits = 0;            ///< quorum re-ask HITs published
+  int64_t num_assignments_abandoned = 0; ///< worker walk-aways (not billed)
+  int64_t num_hits_expired = 0;          ///< HITs that blew the deadline
 };
 
 /// \brief "Non-Transitive" baseline: publishes *every* candidate pair to
@@ -107,6 +114,13 @@ struct StreamingCampaignConfig {
   /// full candidate set is never materialized (peak candidate memory = one
   /// round). Requires the scorer-free path.
   int64_t label_tasks_per_round = 0;
+  /// Durable-campaign knobs (round-by-round mode only). A non-empty
+  /// `checkpoint.path` makes the campaign write its round frontier there
+  /// and resume from it after a kill; see `SessionCheckpointOptions`.
+  /// `crowd.faults` / `crowd.retry` plug the per-pair transient fault
+  /// model and retry policy into the session (`crowd.retry.seed == 0`
+  /// derives the jitter seed from `crowd.seed`).
+  SessionCheckpointOptions checkpoint;
 };
 
 /// Outcome of a streaming campaign.

@@ -4,12 +4,38 @@
 #include <cmath>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace crowdjoin {
 
+namespace {
+
+// Fault-path telemetry, shared by every platform instance.
+struct PlatformFaultMetrics {
+  obs::Counter* assignments_abandoned_total;
+  obs::Counter* hits_expired_total;
+  obs::Counter* publish_failures_total;
+
+  static PlatformFaultMetrics& Get() {
+    static PlatformFaultMetrics metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      return PlatformFaultMetrics{
+          registry.GetCounter("crowd.assignments_abandoned_total"),
+          registry.GetCounter("crowd.hits_expired_total"),
+          registry.GetCounter("crowd.publish_failures_total")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 CrowdPlatform::CrowdPlatform(const CrowdConfig& config,
                              const GroundTruthOracle* truth)
-    : config_(config), truth_(truth), rng_(config.seed) {
+    : config_(config),
+      truth_(truth),
+      rng_(config.seed),
+      faults_(config.faults) {
   CJ_CHECK(config_.pairs_per_hit >= 1);
   CJ_CHECK(config_.assignments_per_hit >= 1);
   CJ_CHECK(config_.num_workers >= config_.assignments_per_hit);
@@ -51,7 +77,17 @@ void CrowdPlatform::BuildWorkerPool() {
       workers_.push_back(worker);
     }
     if (static_cast<int>(workers_.size()) >= config_.assignments_per_hit) {
-      return;
+      break;
+    }
+  }
+  // Fault roles are pure hashes of the worker's pool index — assigned
+  // after the pool settles, so they neither consume RNG draws nor perturb
+  // the qualification stream (a disabled plan stays byte-identical).
+  if (faults_.enabled()) {
+    for (size_t w = 0; w < workers_.size(); ++w) {
+      workers_[w].spammer = faults_.WorkerIsSpammer(static_cast<int>(w));
+      workers_[w].service_multiplier =
+          faults_.WorkerServiceMultiplier(static_cast<int>(w));
     }
   }
 }
@@ -62,6 +98,19 @@ Result<int64_t> CrowdPlatform::PublishHit(std::vector<PairTask> tasks) {
   }
   if (static_cast<int>(tasks.size()) > config_.pairs_per_hit) {
     return Status::InvalidArgument("HIT exceeds pairs_per_hit");
+  }
+  if (faults_.plan().publish_failure_rate > 0.0) {
+    // Coin keyed on (accepted publishes, consecutive failures): each retry
+    // of the same logical publish flips a fresh coin, so a retry loop
+    // terminates deterministically.
+    if (faults_.PublishFails(static_cast<uint64_t>(hits_.size()),
+                             publish_attempt_ + 1)) {
+      ++publish_attempt_;
+      ++num_publish_failures_;
+      PlatformFaultMetrics::Get().publish_failures_total->Inc();
+      return Status::Internal("transient publish failure (injected)");
+    }
+    publish_attempt_ = 0;
   }
   Hit hit;
   hit.published_at_hours = now_hours_;
@@ -90,16 +139,19 @@ void CrowdPlatform::ScheduleAssignments() {
       }
       return x < y;
     });
-    // Skip the fully-started prefix of the HIT list (monotone pointer).
+    // Skip the closed prefix of the HIT list (monotone pointer; expiry
+    // closes a HIT with slots still open, abandonment can reopen one).
     while (first_open_hit_ < hits_.size() &&
-           hits_[first_open_hit_].assignments_started >=
-               config_.assignments_per_hit) {
+           (hits_[first_open_hit_].expired ||
+            hits_[first_open_hit_].assignments_started >=
+                config_.assignments_per_hit)) {
       ++first_open_hit_;
     }
     bool assigned = false;
     for (int w : worker_order) {
       for (size_t h = first_open_hit_; h < hits_.size(); ++h) {
         Hit& hit = hits_[h];
+        if (hit.expired) continue;
         if (hit.assignments_started >= config_.assignments_per_hit) continue;
         if (hit.workers_used.contains(w)) continue;
         // Start after the worker frees up and the HIT exists; the pickup
@@ -109,7 +161,8 @@ void CrowdPlatform::ScheduleAssignments() {
             std::log(config_.mean_service_hours) -
             0.5 * config_.service_sigma * config_.service_sigma;
         const double service =
-            rng_.LogNormal(service_mu, config_.service_sigma);
+            rng_.LogNormal(service_mu, config_.service_sigma) *
+            workers_[static_cast<size_t>(w)].service_multiplier;
         const double start =
             std::max(workers_[static_cast<size_t>(w)].free_at_hours,
                      hit.published_at_hours) +
@@ -136,6 +189,21 @@ std::optional<int64_t> CrowdPlatform::CompleteAssignment(
     const AssignmentEvent& event) {
   Hit& hit = hits_[static_cast<size_t>(event.hit_id)];
   const Worker& worker = workers_[static_cast<size_t>(event.worker)];
+  if (faults_.plan().abandonment_rate > 0.0 &&
+      faults_.AssignmentAbandoned(static_cast<uint64_t>(event.hit_id),
+                                  event.worker, hit.abandoned_count)) {
+    // The worker walks away: no answers, no billing; the slot reopens and
+    // the worker may re-accept (a fresh coin — keyed on the bumped
+    // counter — so nobody abandons the same HIT forever).
+    ++hit.abandoned_count;
+    ++num_assignments_abandoned_;
+    PlatformFaultMetrics::Get().assignments_abandoned_total->Inc();
+    --hit.assignments_started;
+    hit.workers_used.erase(event.worker);
+    first_open_hit_ =
+        std::min(first_open_hit_, static_cast<size_t>(event.hit_id));
+    return std::nullopt;
+  }
   for (size_t t = 0; t < hit.tasks.size(); ++t) {
     const PairTask& task = hit.tasks[t];
     const Label real = truth_->Truth(task.a, task.b);
@@ -147,6 +215,13 @@ std::optional<int64_t> CrowdPlatform::CompleteAssignment(
     } else if (rng_.Bernoulli(worker.false_positive_rate)) {
       answer = Label::kMatching;
     }
+    if (worker.spammer) {
+      // Spammers invert whatever they would have answered. Deliberately
+      // applied after the error draw so spammer runs consume the same RNG
+      // stream as honest runs of the same seed.
+      answer = answer == Label::kMatching ? Label::kNonMatching
+                                          : Label::kMatching;
+    }
     if (answer == Label::kMatching) ++hit.matching_votes[t];
   }
   ++hit.assignments_done;
@@ -157,29 +232,50 @@ std::optional<int64_t> CrowdPlatform::CompleteAssignment(
   return std::nullopt;
 }
 
+HitResult CrowdPlatform::MakeHitResult(int64_t hit_id, const Hit& hit) const {
+  HitResult result;
+  result.hit_id = hit_id;
+  result.completed_at_hours = now_hours_;
+  result.num_assignments = hit.assignments_done;
+  result.expired = hit.expired;
+  result.pairs.reserve(hit.tasks.size());
+  for (size_t t = 0; t < hit.tasks.size(); ++t) {
+    // Majority of the votes actually collected; an even split (or an
+    // expired HIT with no votes) counts as non-matching.
+    const bool matching = 2 * hit.matching_votes[t] > hit.assignments_done;
+    result.pairs.push_back({hit.tasks[t].position,
+                            matching ? Label::kMatching : Label::kNonMatching,
+                            hit.matching_votes[t]});
+  }
+  return result;
+}
+
 std::optional<HitResult> CrowdPlatform::RunUntilNextHitCompletion() {
   while (!events_.empty()) {
     const AssignmentEvent event = events_.top();
     events_.pop();
     now_hours_ = std::max(now_hours_, event.completes_at_hours);
+    Hit& event_hit = hits_[static_cast<size_t>(event.hit_id)];
+    if (event_hit.expired) continue;  // late work for an expired HIT
+    if (faults_.plan().hit_expiry_hours > 0.0 &&
+        event.completes_at_hours >
+            event_hit.published_at_hours +
+                faults_.plan().hit_expiry_hours) {
+      // The deadline passed before this assignment landed: the HIT comes
+      // back expired with whatever votes it had, and the publisher
+      // decides whether to repost. Still-in-flight assignments for it are
+      // dropped as their events pop.
+      event_hit.expired = true;
+      ++num_hits_expired_;
+      PlatformFaultMetrics::Get().hits_expired_total->Inc();
+      ScheduleAssignments();
+      return MakeHitResult(event.hit_id, event_hit);
+    }
     const std::optional<int64_t> done_hit = CompleteAssignment(event);
     ScheduleAssignments();
     if (!done_hit.has_value()) continue;
     ++num_hits_completed_;
-    const Hit& hit = hits_[static_cast<size_t>(*done_hit)];
-    HitResult result;
-    result.hit_id = *done_hit;
-    result.completed_at_hours = now_hours_;
-    result.pairs.reserve(hit.tasks.size());
-    for (size_t t = 0; t < hit.tasks.size(); ++t) {
-      // Majority vote; an even split counts as non-matching.
-      const bool matching =
-          2 * hit.matching_votes[t] > config_.assignments_per_hit;
-      result.pairs.push_back(
-          {hit.tasks[t].position,
-           matching ? Label::kMatching : Label::kNonMatching});
-    }
-    return result;
+    return MakeHitResult(*done_hit, hits_[static_cast<size_t>(*done_hit)]);
   }
   return std::nullopt;
 }

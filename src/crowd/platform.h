@@ -12,6 +12,7 @@
 #include "core/candidate.h"
 #include "core/oracle.h"
 #include "crowd/config.h"
+#include "crowd/faults.h"
 #include "graph/label.h"
 
 namespace crowdjoin {
@@ -28,6 +29,9 @@ struct PairTask {
 struct CompletedPair {
   int32_t position = 0;
   Label label = Label::kNonMatching;
+  /// Raw "matching" votes behind the label, for quorum checks
+  /// (`RetryPolicy::reask_margin`) and vote merging across re-asks.
+  int matching_votes = 0;
 };
 
 /// Everything known about a HIT once its last assignment finishes.
@@ -35,6 +39,14 @@ struct HitResult {
   int64_t hit_id = 0;
   double completed_at_hours = 0.0;
   std::vector<CompletedPair> pairs;
+  /// Assignments whose votes are included in `pairs`. Equals
+  /// `assignments_per_hit` for a normally completed HIT; fewer when the
+  /// HIT expired with assignments outstanding.
+  int num_assignments = 0;
+  /// The HIT blew its `FaultPlan::hit_expiry_hours` deadline: `pairs`
+  /// holds the partial votes collected before expiry, and the publisher
+  /// is expected to repost. Never set without an expiry configured.
+  bool expired = false;
 };
 
 /// \brief Discrete-event simulation of a microtask crowdsourcing platform.
@@ -46,6 +58,14 @@ struct HitResult {
 /// platform majority-votes the assignments into per-pair labels.
 ///
 /// The simulation is deterministic given the config seed.
+///
+/// `config.faults` injects the misbehavior of live markets (see
+/// `FaultPlan`): abandoned assignments reopen their slot unbilled,
+/// straggler workers stretch their service times, spammers invert their
+/// answers, HITs past the expiry deadline come back as `expired` partial
+/// results, and `PublishHit` can fail transiently (`kInternal` — retry
+/// it). All fault decisions are pure hashes of the fault seed, so a
+/// disabled plan is byte-identical to the fault-free simulator.
 class CrowdPlatform {
  public:
   /// `truth` must outlive the platform.
@@ -53,6 +73,9 @@ class CrowdPlatform {
 
   /// Publishes one HIT; pairs of the HIT are answered together.
   /// Returns the HIT id, or InvalidArgument for an empty task list.
+  /// Under a fault plan with `publish_failure_rate` > 0 the call can fail
+  /// transiently with `kInternal`; the tasks are not accepted and the
+  /// caller retries the publish.
   Result<int64_t> PublishHit(std::vector<PairTask> tasks);
 
   /// Advances simulated time until the next HIT fully completes and
@@ -75,12 +98,22 @@ class CrowdPlatform {
   }
   /// Workers that survived the qualification test.
   int num_active_workers() const { return static_cast<int>(workers_.size()); }
+  /// Assignments whose workers walked away (slot reopened, not billed).
+  int64_t num_assignments_abandoned() const {
+    return num_assignments_abandoned_;
+  }
+  /// HITs that blew the expiry deadline and returned partial results.
+  int64_t num_hits_expired() const { return num_hits_expired_; }
+  /// `PublishHit` calls that failed transiently.
+  int64_t num_publish_failures() const { return num_publish_failures_; }
 
  private:
   struct Worker {
     double free_at_hours = 0.0;
     double false_negative_rate = 0.0;
     double false_positive_rate = 0.0;
+    bool spammer = false;           // inverts every answer (FaultPlan)
+    double service_multiplier = 1.0;  // straggler slowdown (FaultPlan)
   };
 
   struct Hit {
@@ -90,6 +123,8 @@ class CrowdPlatform {
     int assignments_done = 0;
     std::vector<int> matching_votes;       // per task
     std::unordered_set<int> workers_used;  // AMT: distinct workers per HIT
+    int abandoned_count = 0;  // keys successive abandonment coins
+    bool expired = false;     // past deadline; late assignments are dropped
   };
 
   struct AssignmentEvent {
@@ -107,10 +142,13 @@ class CrowdPlatform {
   void ScheduleAssignments();
   // Applies one finished assignment; returns the hit id if the HIT is done.
   std::optional<int64_t> CompleteAssignment(const AssignmentEvent& event);
+  // Majority-votes `hit` into a result from the votes collected so far.
+  HitResult MakeHitResult(int64_t hit_id, const Hit& hit) const;
 
   CrowdConfig config_;
   const GroundTruthOracle* truth_;
   Rng rng_;
+  FaultInjector faults_;
   std::vector<Worker> workers_;
   std::vector<Hit> hits_;
   std::priority_queue<AssignmentEvent, std::vector<AssignmentEvent>,
@@ -120,6 +158,12 @@ class CrowdPlatform {
   size_t first_open_hit_ = 0;  // all earlier HITs have all assignments started
   int64_t num_hits_completed_ = 0;
   int64_t num_assignments_completed_ = 0;
+  int64_t num_assignments_abandoned_ = 0;
+  int64_t num_hits_expired_ = 0;
+  int64_t num_publish_failures_ = 0;
+  // Transient-publish-failure coin keys: (successful publishes so far,
+  // consecutive failed attempts since the last success).
+  int publish_attempt_ = 0;
 };
 
 }  // namespace crowdjoin

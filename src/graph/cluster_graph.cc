@@ -28,6 +28,8 @@ void ClusterGraph::CopyStateFrom(const ClusterGraph& other) {
   link_parent_ = other.link_parent_;
   link_epoch_ = other.link_epoch_;
   min_history_ = other.min_history_;
+  edge_log_enabled_ = other.edge_log_enabled_;
+  edge_log_ = other.edge_log_;
   published_epoch_ = other.published_epoch_;
   dirty_ = other.dirty_;
 }
@@ -56,6 +58,8 @@ ClusterGraph::ClusterGraph(ClusterGraph&& other) noexcept
       link_parent_(std::move(other.link_parent_)),
       link_epoch_(std::move(other.link_epoch_)),
       min_history_(std::move(other.min_history_)),
+      edge_log_enabled_(other.edge_log_enabled_),
+      edge_log_(std::move(other.edge_log_)),
       published_epoch_(other.published_epoch_),
       dirty_(other.dirty_) {}
 
@@ -71,6 +75,8 @@ ClusterGraph& ClusterGraph::operator=(ClusterGraph&& other) noexcept {
   link_parent_ = std::move(other.link_parent_);
   link_epoch_ = std::move(other.link_epoch_);
   min_history_ = std::move(other.min_history_);
+  edge_log_enabled_ = other.edge_log_enabled_;
+  edge_log_ = std::move(other.edge_log_);
   published_epoch_ = other.published_epoch_;
   dirty_ = other.dirty_;
   snapshots_enabled_ = false;
@@ -89,6 +95,7 @@ void ClusterGraph::Reset(int32_t num_objects) {
   std::iota(link_parent_.begin(), link_parent_.end(), 0);
   link_epoch_.assign(static_cast<size_t>(num_objects), kNoEpoch);
   min_history_.clear();
+  edge_log_.clear();
   published_epoch_ = 0;
   dirty_ = false;
 }
@@ -219,6 +226,9 @@ int32_t ClusterGraph::MergeClusters(int32_t ra, int32_t rb) {
 AddOutcome ClusterGraph::Add(ObjectId a, ObjectId b, Label label) {
   CJ_CHECK(a != b);
   auto lock = MutationLock();
+  // Every call is logged, whatever its outcome: replaying the log must
+  // reproduce the conflict/redundancy counters, not just the clusters.
+  if (edge_log_enabled_) edge_log_.push_back(LoggedEdge{a, b, label});
   const int64_t epoch = published_epoch_ + 1;
   const int32_t ra = union_find_.Find(a);
   const int32_t rb = union_find_.Find(b);

@@ -34,6 +34,18 @@ enum class ConflictPolicy : uint8_t {
   kTrustNew = 1,
 };
 
+/// \brief One recorded `ClusterGraph::Add` call (see `SetEdgeLogEnabled`).
+///
+/// Replaying a graph's log — every Add in order, conflicts and redundant
+/// labels included — onto a fresh graph of the same size reproduces the
+/// logical state *and* every counter exactly, which is what campaign
+/// checkpoints persist instead of the graph's internal structures.
+struct LoggedEdge {
+  ObjectId a;
+  ObjectId b;
+  Label label;
+};
+
 class ClusterGraph;
 
 /// \brief An immutable view of a `ClusterGraph` at a published epoch.
@@ -241,6 +253,19 @@ class ClusterGraph {
     return union_find_.MinMember(x);
   }
 
+  /// Starts (or stops) recording every `Add` call — applied, redundant,
+  /// and conflicting alike — into the edge log. Off by default; the log is
+  /// the durable form of the graph for checkpointing (see `LoggedEdge`).
+  /// Writer-only, like all mutations.
+  void SetEdgeLogEnabled(bool enabled) {
+    auto lock = MutationLock();
+    edge_log_enabled_ = enabled;
+  }
+  bool edge_log_enabled() const { return edge_log_enabled_; }
+
+  /// The recorded `Add` calls, in order. Writer-thread view.
+  const std::vector<LoggedEdge>& edge_log() const { return edge_log_; }
+
   /// Number of objects in `x`'s cluster.
   int32_t ClusterSize(ObjectId x) { return union_find_.SetSize(x); }
 
@@ -314,6 +339,10 @@ class ClusterGraph {
   // snapshot `CanonicalClusterId`.
   std::unordered_map<int32_t, std::vector<std::pair<int64_t, int32_t>>>
       min_history_;
+
+  // Recorded Add calls (see SetEdgeLogEnabled). Cleared by Reset.
+  bool edge_log_enabled_ = false;
+  std::vector<LoggedEdge> edge_log_;
 
   int64_t published_epoch_ = 0;
   bool dirty_ = false;  // mutations pending since the last publish

@@ -1,0 +1,165 @@
+// Wire-format and file round-trip tests for the session checkpoint
+// (core/session_checkpoint.h). Every corruption mode must surface as a
+// typed error — a torn, truncated, or foreign file must never decode into
+// a plausible-but-wrong frontier.
+
+#include "core/session_checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace crowdjoin {
+namespace {
+
+SessionCheckpointState MakeState() {
+  SessionCheckpointState state;
+  state.fingerprint = 0xFEEDFACECAFEBEEFull;
+  state.completed_rounds = 3;
+  state.candidates_consumed = 60;
+  state.num_objects = 25;
+  state.remaining_budget = 17;
+  state.num_candidates = 60;
+  state.num_crowdsourced = 21;
+  state.num_deduced = 39;
+  state.num_unlabeled = 0;
+  state.num_stream_rounds = 3;
+  state.crowdsourced_per_iteration = {9, 7, 5};
+  state.outcomes = {
+      PairOutcome{Label::kMatching, LabelSource::kCrowdsourced},
+      std::nullopt,
+      PairOutcome{Label::kNonMatching, LabelSource::kDeduced},
+      PairOutcome{Label::kNonMatching, LabelSource::kCrowdsourced},
+  };
+  state.edge_log = {{0, 1, Label::kMatching}, {1, 2, Label::kNonMatching}};
+  state.has_order_rng = true;
+  Rng rng(11);
+  (void)rng.Normal(0.0, 1.0);  // populate the spare-normal slot
+  state.order_rng = rng.SaveState();
+  return state;
+}
+
+void ExpectStatesEqual(const SessionCheckpointState& actual,
+                       const SessionCheckpointState& expected) {
+  EXPECT_EQ(actual.fingerprint, expected.fingerprint);
+  EXPECT_EQ(actual.completed_rounds, expected.completed_rounds);
+  EXPECT_EQ(actual.candidates_consumed, expected.candidates_consumed);
+  EXPECT_EQ(actual.num_objects, expected.num_objects);
+  EXPECT_EQ(actual.remaining_budget, expected.remaining_budget);
+  EXPECT_EQ(actual.num_candidates, expected.num_candidates);
+  EXPECT_EQ(actual.num_crowdsourced, expected.num_crowdsourced);
+  EXPECT_EQ(actual.num_deduced, expected.num_deduced);
+  EXPECT_EQ(actual.num_unlabeled, expected.num_unlabeled);
+  EXPECT_EQ(actual.num_stream_rounds, expected.num_stream_rounds);
+  EXPECT_EQ(actual.crowdsourced_per_iteration,
+            expected.crowdsourced_per_iteration);
+  EXPECT_EQ(actual.outcomes, expected.outcomes);
+  ASSERT_EQ(actual.edge_log.size(), expected.edge_log.size());
+  for (size_t i = 0; i < actual.edge_log.size(); ++i) {
+    EXPECT_EQ(actual.edge_log[i].a, expected.edge_log[i].a);
+    EXPECT_EQ(actual.edge_log[i].b, expected.edge_log[i].b);
+    EXPECT_EQ(actual.edge_log[i].label, expected.edge_log[i].label);
+  }
+  ASSERT_EQ(actual.has_order_rng, expected.has_order_rng);
+  if (expected.has_order_rng) {
+    for (size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(actual.order_rng.s[i], expected.order_rng.s[i]);
+    }
+    EXPECT_EQ(actual.order_rng.spare_normal, expected.order_rng.spare_normal);
+    EXPECT_EQ(actual.order_rng.has_spare_normal,
+              expected.order_rng.has_spare_normal);
+  }
+}
+
+// Replaces the trailing checksum with one matching the (possibly mutated)
+// payload, so a test can hit the decoder's field checks rather than the
+// checksum gate.
+std::string Rechecksum(std::string encoded) {
+  encoded.resize(encoded.size() - 8);
+  const uint64_t checksum = Fingerprint64(encoded);
+  for (int i = 0; i < 8; ++i) {
+    encoded.push_back(static_cast<char>((checksum >> (8 * i)) & 0xFF));
+  }
+  return encoded;
+}
+
+TEST(SessionCheckpoint, EncodeDecodeRoundTrip) {
+  const SessionCheckpointState state = MakeState();
+  const std::string encoded = EncodeSessionCheckpoint(state);
+  const SessionCheckpointState decoded =
+      DecodeSessionCheckpoint(encoded).value();
+  ExpectStatesEqual(decoded, state);
+}
+
+TEST(SessionCheckpoint, RoundTripWithoutOrderRng) {
+  SessionCheckpointState state = MakeState();
+  state.has_order_rng = false;
+  const SessionCheckpointState decoded =
+      DecodeSessionCheckpoint(EncodeSessionCheckpoint(state)).value();
+  ExpectStatesEqual(decoded, state);
+}
+
+TEST(SessionCheckpoint, SaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "cjckpt_roundtrip.bin";
+  std::remove(path.c_str());
+  const SessionCheckpointState state = MakeState();
+  ASSERT_TRUE(SaveSessionCheckpoint(path, state).ok());
+  const SessionCheckpointState loaded = LoadSessionCheckpoint(path).value();
+  ExpectStatesEqual(loaded, state);
+  std::remove(path.c_str());
+}
+
+TEST(SessionCheckpoint, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadSessionCheckpoint(::testing::TempDir() +
+                                  "cjckpt_does_not_exist.bin")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SessionCheckpoint, FlippedByteFailsTheChecksum) {
+  std::string encoded = EncodeSessionCheckpoint(MakeState());
+  encoded[encoded.size() / 2] ^= 0x40;
+  EXPECT_EQ(DecodeSessionCheckpoint(encoded).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionCheckpoint, BadMagicIsRejected) {
+  std::string encoded = EncodeSessionCheckpoint(MakeState());
+  encoded[0] ^= 0xFF;
+  // With a recomputed checksum the decoder reaches the magic check itself.
+  EXPECT_EQ(DecodeSessionCheckpoint(Rechecksum(encoded)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionCheckpoint, TruncatedPayloadIsOutOfRange) {
+  std::string encoded = EncodeSessionCheckpoint(MakeState());
+  // Drop the last payload byte (keeping the checksum valid for what is
+  // left), so a bounds-checked field read runs out of buffer.
+  encoded.erase(encoded.size() - 9, 1);
+  EXPECT_EQ(DecodeSessionCheckpoint(Rechecksum(encoded)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SessionCheckpoint, TrailingBytesAreRejected) {
+  std::string encoded = EncodeSessionCheckpoint(MakeState());
+  encoded.insert(encoded.size() - 8, 1, '\0');
+  EXPECT_EQ(DecodeSessionCheckpoint(Rechecksum(encoded)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionCheckpoint, TooSmallBufferIsRejected) {
+  EXPECT_EQ(DecodeSessionCheckpoint("short").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SessionCheckpoint, EncodingIsDeterministic) {
+  const SessionCheckpointState state = MakeState();
+  EXPECT_EQ(EncodeSessionCheckpoint(state), EncodeSessionCheckpoint(state));
+}
+
+}  // namespace
+}  // namespace crowdjoin
